@@ -1,0 +1,98 @@
+package breakhammer
+
+import (
+	"math"
+	"testing"
+)
+
+// facadeConfig keeps the façade tests fast.
+func facadeConfig() Config {
+	c := FastConfig()
+	c.TargetInsts = 100_000
+	c.BHWindow = 200_000
+	return c
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := facadeConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 256
+	cfg.BreakHammer = true
+	mix, err := ParseMix("MLLA", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WS <= 0 {
+		t.Errorf("WS = %g", res.WS)
+	}
+	if res.BH == nil || res.BH.SuspectEvents[3] == 0 {
+		t.Error("attacker not detected through the façade")
+	}
+}
+
+func TestFacadeMechanismsList(t *testing.T) {
+	ms := Mechanisms()
+	if len(ms) != 8 {
+		t.Fatalf("mechanisms = %d, want 8", len(ms))
+	}
+	cfg := facadeConfig()
+	cfg.TargetInsts = 30_000
+	mix, _ := ParseMix("LLLL", 1)
+	for _, m := range ms {
+		cfg.Mechanism = m
+		cfg.NRH = 1024
+		if _, err := Run(cfg, mix); err != nil {
+			t.Errorf("mechanism %s failed: %v", m, err)
+		}
+	}
+}
+
+func TestFacadeMixConstructors(t *testing.T) {
+	if got := len(AttackMixes(2)); got != 12 {
+		t.Errorf("AttackMixes(2) = %d, want 12", got)
+	}
+	if got := len(BenignMixes(1)); got != 6 {
+		t.Errorf("BenignMixes(1) = %d, want 6", got)
+	}
+}
+
+func TestFacadeSecurityBound(t *testing.T) {
+	if got := MaxAttackerScore(0.5, 0.65); math.Abs(got-4.71) > 0.01 {
+		t.Errorf("MaxAttackerScore = %g, want 4.71", got)
+	}
+	if got := MinAttackerFraction(2, 0.05); got < 0.89 {
+		t.Errorf("MinAttackerFraction = %g, want ≈ 0.90", got)
+	}
+}
+
+func TestFacadeRunAll(t *testing.T) {
+	cfg := facadeConfig()
+	cfg.TargetInsts = 30_000
+	mixes := BenignMixes(1)[:2]
+	rs, err := RunAll(cfg, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	opts := QuickExperimentOptions()
+	opts.Base.TargetInsts = 50_000
+	opts.NRHs = []int{256}
+	opts.Mechanisms = []string{"rfm"}
+	r := NewExperiments(opts)
+	tb, err := r.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("Figure 6 produced no rows")
+	}
+}

@@ -1,0 +1,88 @@
+// bhsim runs a single BreakHammer simulation and prints its metrics.
+//
+// Usage:
+//
+//	bhsim -mix HHMA -mech graphene -nrh 1024 -bh
+//	bhsim -mix LLLA -mech blockhammer -nrh 128 -insts 400000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"breakhammer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bhsim: ")
+
+	var (
+		mixStr  = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core")
+		mech    = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
+		nrh     = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
+		bh      = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
+		insts   = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		paper   = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
+		verbose = flag.Bool("v", false, "print per-thread detail")
+	)
+	flag.Parse()
+
+	cfg := breakhammer.FastConfig()
+	if *paper {
+		cfg = breakhammer.DefaultConfig()
+	}
+	cfg.Mechanism = *mech
+	cfg.NRH = *nrh
+	cfg.BreakHammer = *bh
+	cfg.Seed = *seed
+	if *insts > 0 {
+		cfg.TargetInsts = *insts
+	}
+
+	mix, err := breakhammer.ParseMix(*mixStr, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := breakhammer.Run(cfg, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mix=%s mech=%s nrh=%d breakhammer=%v\n", mix.Name, *mech, *nrh, *bh)
+	fmt.Printf("cycles=%d simulated=%.3f ms\n", res.Cycles, res.Seconds*1e3)
+	fmt.Printf("weighted speedup (benign) = %.4f\n", res.WS)
+	fmt.Printf("unfairness (max benign slowdown) = %.4f\n", res.Unfairness)
+	fmt.Printf("preventive actions = %d\n", res.Actions)
+	fmt.Printf("DRAM energy = %.3f uJ\n", res.EnergyNJ/1e3)
+	fmt.Printf("VRR=%d RFM=%d MIG=%d AUX=%d REF=%d\n",
+		res.MC.VRRs, res.MC.RFMs, res.MC.Migrations, res.MC.AuxAccesses, res.MC.Refreshes)
+	if res.BH != nil {
+		fmt.Printf("BreakHammer: actions observed=%d window rotations=%d\n",
+			res.BH.ActionsObserved, res.BH.WindowRotations)
+		for tid, n := range res.BH.SuspectEvents {
+			if n > 0 {
+				fmt.Printf("  thread %d: %d suspect events, %d windows throttled\n",
+					tid, n, res.BH.SuspectWindows[tid])
+			}
+		}
+	}
+	if *verbose {
+		fmt.Println("\nper-thread:")
+		for tid := range res.IPC {
+			role := "benign"
+			if !res.Benign[tid] {
+				role = "ATTACKER"
+			}
+			fmt.Printf("  t%d %-8s IPC=%.3f insts=%d RBMPKI=%.2f P50=%.0fns P99=%.0fns\n",
+				tid, role, res.IPC[tid], res.Insts[tid], res.RBMPKI[tid],
+				res.Latency[tid].Percentile(50), res.Latency[tid].Percentile(99))
+		}
+	}
+	if !res.BenignFinished {
+		fmt.Fprintln(os.Stderr, "warning: benign cores hit MaxCycles before finishing")
+	}
+}

@@ -1,0 +1,138 @@
+// bhsweep regenerates the paper's tables and figures (see DESIGN.md's
+// per-experiment index) and prints them as ASCII tables or CSV.
+//
+// Usage:
+//
+//	bhsweep                       # everything, scaled-down defaults
+//	bhsweep -figs 2,6,8           # a subset
+//	bhsweep -csv -out results/    # CSV files, one per experiment
+//	bhsweep -mixes 3 -insts 1e6   # larger sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"breakhammer"
+	"breakhammer/internal/exp"
+)
+
+type experiment struct {
+	name string
+	run  func(r *exp.Runner) (exp.Table, error)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bhsweep: ")
+
+	var (
+		figs   = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6 or 'all'")
+		mixes  = flag.Int("mixes", 1, "workload mixes per group (paper: 15)")
+		insts  = flag.Int64("insts", 0, "instructions per benign core (0 = default)")
+		nrhs   = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
+		mechs  = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		outDir = flag.String("out", "", "write one file per experiment into this directory")
+		quick  = flag.Bool("quick", false, "minimal smoke-test sweep")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.MixesPerGroup = *mixes
+	if *insts > 0 {
+		opts.Base.TargetInsts = *insts
+	}
+	if *nrhs != "" {
+		opts.NRHs = opts.NRHs[:0]
+		for _, s := range strings.Split(*nrhs, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+				log.Fatalf("bad -nrhs entry %q", s)
+			}
+			opts.NRHs = append(opts.NRHs, v)
+		}
+	}
+	if *mechs != "" {
+		opts.Mechanisms = strings.Split(*mechs, ",")
+	}
+	runner := exp.NewRunner(opts)
+
+	all := []experiment{
+		{"table1", func(*exp.Runner) (exp.Table, error) { return exp.Table1(opts.Base), nil }},
+		{"table2", func(*exp.Runner) (exp.Table, error) { return exp.Table2(opts.Base), nil }},
+		{"table3", func(*exp.Runner) (exp.Table, error) { return exp.Table3(opts.Base) }},
+		{"2", (*exp.Runner).Figure2},
+		{"5", func(*exp.Runner) (exp.Table, error) { return exp.Figure5(), nil }},
+		{"6", (*exp.Runner).Figure6},
+		{"7", (*exp.Runner).Figure7},
+		{"8", (*exp.Runner).Figure8},
+		{"9", (*exp.Runner).Figure9},
+		{"10", (*exp.Runner).Figure10},
+		{"11", (*exp.Runner).Figure11},
+		{"12", (*exp.Runner).Figure12},
+		{"13", (*exp.Runner).Figure13},
+		{"14", (*exp.Runner).Figure14},
+		{"15", (*exp.Runner).Figure15},
+		{"16", (*exp.Runner).Figure16},
+		{"17", (*exp.Runner).Figure17},
+		{"18", (*exp.Runner).Figure18},
+		{"19", (*exp.Runner).Figure19},
+		{"sec5", (*exp.Runner).Section5},
+		{"sec6", func(*exp.Runner) (exp.Table, error) { return exp.Section6(), nil }},
+	}
+
+	selected := map[string]bool{}
+	if *figs == "all" {
+		for _, e := range all {
+			selected[e.name] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			selected[strings.TrimSpace(f)] = true
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_ = breakhammer.Mechanisms() // façade linkage sanity
+
+	for _, e := range all {
+		if !selected[e.name] {
+			continue
+		}
+		tbl, err := e.run(runner)
+		if err != nil {
+			log.Fatalf("experiment %s: %v", e.name, err)
+		}
+		var text string
+		if *csvOut {
+			text = tbl.CSV()
+		} else {
+			text = tbl.String()
+		}
+		if *outDir != "" {
+			ext := ".txt"
+			if *csvOut {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, "experiment_"+e.name+ext)
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", path)
+		} else {
+			fmt.Println(text)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// bhtrace generates and inspects synthetic workload traces: it prints
+// trace records and a DRAM-level characterisation (bank/row spread,
+// expected MPKI) for any workload class.
+//
+// Usage:
+//
+//	bhtrace -class H -n 20           # dump 20 records
+//	bhtrace -class A -summary        # attacker characterisation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"breakhammer/internal/dram"
+	"breakhammer/internal/memctrl"
+	"breakhammer/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bhtrace: ")
+
+	var (
+		class   = flag.String("class", "H", "workload class letter: H, M, L or A")
+		n       = flag.Int("n", 20, "records to dump")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		thread  = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
+		summary = flag.Bool("summary", false, "print a characterisation summary instead of records")
+		samples = flag.Int("samples", 100000, "accesses to sample for -summary")
+	)
+	flag.Parse()
+
+	c, err := workload.ParseClass((*class)[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := workload.ClassSpec(c, 0, *seed)
+	gen := workload.NewGenerator(spec, *thread)
+	mapper := memctrl.NewMOPMapper(dram.Default())
+
+	if !*summary {
+		fmt.Printf("# workload=%s class=%s mpki=%g locality=%g footprint=%d lines\n",
+			spec.Name, spec.Class, spec.MPKI, spec.Locality, spec.FootprintLines)
+		fmt.Println("# bubbles  line-addr      op  bank  row    col")
+		for i := 0; i < *n; i++ {
+			bubbles, line, write := gen.Next()
+			op := "R"
+			if write {
+				op = "W"
+			}
+			a := mapper.Map(line)
+			fmt.Printf("%9d  %#012x  %s   %4d  %5d  %3d\n", bubbles, line, op, a.Bank, a.Row, a.Col)
+		}
+		return
+	}
+
+	var insts, accesses, writes int64
+	banks := map[int]int64{}
+	rowACTs := map[[2]int]int64{}
+	for i := 0; i < *samples; i++ {
+		bubbles, line, write := gen.Next()
+		insts += bubbles + 1
+		accesses++
+		if write {
+			writes++
+		}
+		a := mapper.Map(line)
+		banks[a.Bank]++
+		rowACTs[[2]int{a.Bank, a.Row}]++
+	}
+	var hot64, hot512 int
+	var maxRow int64
+	for _, v := range rowACTs {
+		if v >= 64 {
+			hot64++
+		}
+		if v >= 512 {
+			hot512++
+		}
+		if v > maxRow {
+			maxRow = v
+		}
+	}
+	fmt.Printf("workload        %s (class %s)\n", spec.Name, spec.Class)
+	fmt.Printf("accesses        %d over %d instructions (MPKI %.1f)\n",
+		accesses, insts, float64(accesses)/float64(insts)*1000)
+	fmt.Printf("write fraction  %.3f\n", float64(writes)/float64(accesses))
+	fmt.Printf("banks touched   %d\n", len(banks))
+	fmt.Printf("distinct rows   %d\n", len(rowACTs))
+	fmt.Printf("rows >=64 acc   %d\n", hot64)
+	fmt.Printf("rows >=512 acc  %d\n", hot512)
+	fmt.Printf("max row count   %d\n", maxRow)
+}

@@ -1,0 +1,71 @@
+// Mitigation comparison: runs all eight RowHammer mitigation mechanisms
+// (plus the BlockHammer baseline) on the same attack workload at one
+// N_RH, with and without BreakHammer — a single-row slice of Figures 8
+// and 18.
+//
+// Run with:
+//
+//	go run ./examples/mitigations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"breakhammer"
+)
+
+func main() {
+	const nrh = 256
+	mix, err := breakhammer.ParseMix("MMLA", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := breakhammer.FastConfig()
+	base.TargetInsts = 250_000
+
+	// The no-mitigation reference everything is normalized to.
+	none := base
+	none.Mechanism = "none"
+	ref, err := breakhammer.Run(none, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Eight mitigations under attack at N_RH=%d (benign WS normalized to no-mitigation = %.3f)\n\n", nrh, ref.WS)
+	fmt.Printf("%-10s %12s %12s %14s %12s\n", "mechanism", "bare", "+BreakHammer", "actions cut", "energy cut")
+
+	for _, mech := range breakhammer.Mechanisms() {
+		cfg := base
+		cfg.Mechanism = mech
+		cfg.NRH = nrh
+		bare, err := breakhammer.Run(cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.BreakHammer = true
+		prot, err := breakhammer.Run(cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actCut := "n/a"
+		if bare.Actions > 0 {
+			actCut = fmt.Sprintf("%.0f%%", (1-float64(prot.Actions)/float64(bare.Actions))*100)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %14s %11.0f%%\n",
+			mech, bare.WS/ref.WS, prot.WS/ref.WS, actCut,
+			(1-prot.EnergyNJ/bare.EnergyNJ)*100)
+	}
+
+	// BlockHammer runs standalone (it is itself a throttling defense).
+	cfg := base
+	cfg.Mechanism = "blockhammer"
+	cfg.NRH = nrh
+	bh, err := breakhammer.Run(cfg, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %12.3f %12s %14s %12s  (standalone baseline, §8.3)\n",
+		"blockhmr", bh.WS/ref.WS, "-", "-", "-")
+}

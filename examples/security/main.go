@@ -1,0 +1,74 @@
+// Security analysis: evaluates the paper's Expression 2 bound (§5.2) —
+// how large a RowHammer-preventive score an attacker can accumulate
+// without tripping BreakHammer's outlier detection, as a function of how
+// many hardware threads the attacker controls — and validates the §5.3
+// score-attribution argument with a small simulation.
+//
+// Run with:
+//
+//	go run ./examples/security
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"breakhammer"
+)
+
+func main() {
+	fmt.Println("Expression 2: max undetected attacker score (x benign average)")
+	fmt.Printf("%8s", "atk%")
+	outliers := []float64{0.05, 0.35, 0.65, 0.95}
+	for _, th := range outliers {
+		fmt.Printf("  TH=%.2f", th)
+	}
+	fmt.Println()
+	for p := 0; p <= 90; p += 10 {
+		fmt.Printf("%7d%%", p)
+		for _, th := range outliers {
+			v := breakhammer.MaxAttackerScore(float64(p)/100, th)
+			if math.IsInf(v, 1) {
+				fmt.Printf("  %7s", "rigged")
+			} else {
+				fmt.Printf("  %7.2f", v)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPaper checkpoints:")
+	fmt.Printf("  TH=0.65, 50%% attack threads -> %.2fx (paper: 4.71x)\n",
+		breakhammer.MaxAttackerScore(0.5, 0.65))
+	fmt.Printf("  TH=0.05, 90%% attack threads -> %.2fx (paper: 1.90x)\n",
+		breakhammer.MaxAttackerScore(0.9, 0.05))
+	fmt.Printf("  threads needed to double the benign action count at TH=0.05: %.0f%%\n",
+		breakhammer.MinAttackerFraction(2, 0.05)*100)
+
+	// §5.3 empirically: a single attacker among benign threads cannot
+	// shift blame — attribution follows activation shares, so only the
+	// hammering thread is marked.
+	cfg := breakhammer.FastConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 256
+	cfg.BreakHammer = true
+	cfg.TargetInsts = 200_000
+	mix, err := breakhammer.ParseMix("HMLA", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := breakhammer.Run(cfg, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nScore attribution check (graphene+BH, HMLA mix):")
+	for tid := range res.IPC {
+		role := "benign"
+		if !res.Benign[tid] {
+			role = "attacker"
+		}
+		fmt.Printf("  thread %d (%s): %d suspect events\n",
+			tid, role, res.BH.SuspectEvents[tid])
+	}
+}

@@ -1,0 +1,299 @@
+// Package cache implements the shared last-level cache (LLC) with a
+// miss-status-holding-register (MSHR) file. The MSHR file enforces
+// per-thread allocation quotas, which is the lever BreakHammer uses to
+// throttle suspect threads (§4.3 of the paper): a throttled thread may
+// still hit in the cache and merge into in-flight MSHRs, but may not
+// allocate new ones beyond its quota.
+package cache
+
+// Config describes the LLC geometry (Table 1: 8 MiB, 8-way, 64 B lines).
+type Config struct {
+	SizeBytes  int   // total capacity
+	Ways       int   // associativity
+	LineBytes  int   // cache line size
+	MSHRs      int   // total miss-status holding registers
+	HitLatency int64 // cycles from access to data for a hit
+}
+
+// DefaultConfig returns the Table 1 LLC configuration. The MSHR count and
+// hit latency are not in Table 1; 64 MSHRs matches the memory controller's
+// 64-entry read queue, and the hit latency approximates 40 CPU cycles at
+// the 4.2 GHz / 2.4 GHz clock ratio.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:  8 << 20,
+		Ways:       8,
+		LineBytes:  64,
+		MSHRs:      64,
+		HitLatency: 23,
+	}
+}
+
+// Sets returns the number of cache sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Backend is the memory side of the cache: the memory controller.
+// Enqueue methods return false when the corresponding request queue is
+// full; the cache retries later.
+type Backend interface {
+	EnqueueRead(line uint64, thread int) bool
+	EnqueueWrite(line uint64, thread int) bool
+}
+
+// QuotaProvider supplies the per-thread MSHR allocation quota.
+// BreakHammer implements this; a nil provider means "no limit".
+type QuotaProvider interface {
+	MSHRQuota(thread int) int
+}
+
+// ReadOutcome classifies the result of a read access.
+type ReadOutcome int
+
+// Read access outcomes.
+const (
+	ReadHit     ReadOutcome = iota // data available after HitLatency
+	ReadMiss                       // MSHR allocated, callback on fill
+	ReadMSHRHit                    // merged into an in-flight MSHR
+	ReadBlocked                    // no MSHR / over quota / queue full: retry
+)
+
+// Stats counts cache events, per thread.
+type Stats struct {
+	Hits         []int64
+	Misses       []int64
+	MSHRHits     []int64
+	QuotaBlocks  []int64 // read attempts rejected due to a thread quota
+	MSHRBlocks   []int64 // read attempts rejected because the file was full
+	QueueBlocks  []int64 // read attempts rejected because the MC queue was full
+	Writebacks   int64
+	WriteMisses  []int64
+	WriteHits    []int64
+	FillsDropped int64 // fills for lines nobody waits on (should stay 0)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type mshr struct {
+	line     uint64
+	thread   int // allocating thread (owns the quota slot)
+	waiters  []func()
+	wantFill bool // a write miss marks the filled line dirty
+}
+
+// LLC is a set-associative write-back, write-allocate shared cache.
+type LLC struct {
+	cfg     Config
+	backend Backend
+	quota   QuotaProvider
+
+	sets    [][]line
+	setMask uint64
+	lruTick uint64
+
+	mshrs     map[uint64]*mshr
+	inUse     []int // per-thread MSHR occupancy
+	totalUsed int
+
+	pendingWB []uint64 // writebacks the MC queue rejected; retried in Tick
+
+	stats Stats
+}
+
+// New constructs an LLC for the given number of hardware threads.
+func New(cfg Config, threads int, backend Backend) *LLC {
+	sets := cfg.Sets()
+	l := &LLC{
+		cfg:     cfg,
+		backend: backend,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		mshrs:   make(map[uint64]*mshr),
+		inUse:   make([]int, threads),
+	}
+	for i := range l.sets {
+		l.sets[i] = make([]line, cfg.Ways)
+	}
+	l.stats = Stats{
+		Hits:        make([]int64, threads),
+		Misses:      make([]int64, threads),
+		MSHRHits:    make([]int64, threads),
+		QuotaBlocks: make([]int64, threads),
+		MSHRBlocks:  make([]int64, threads),
+		QueueBlocks: make([]int64, threads),
+		WriteMisses: make([]int64, threads),
+		WriteHits:   make([]int64, threads),
+	}
+	return l
+}
+
+// SetQuotaProvider installs the per-thread MSHR quota source.
+func (l *LLC) SetQuotaProvider(q QuotaProvider) { l.quota = q }
+
+// Stats returns the accumulated counters.
+func (l *LLC) Stats() *Stats { return &l.stats }
+
+// InFlight reports the number of occupied MSHRs.
+func (l *LLC) InFlight() int { return l.totalUsed }
+
+// InFlightByThread reports the number of MSHRs held by one thread.
+func (l *LLC) InFlightByThread(t int) int { return l.inUse[t] }
+
+func (l *LLC) setOf(lineAddr uint64) []line { return l.sets[lineAddr&l.setMask] }
+
+func (l *LLC) lookup(lineAddr uint64) *line {
+	set := l.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// quotaFor returns the MSHR quota of a thread.
+func (l *LLC) quotaFor(thread int) int {
+	if l.quota == nil {
+		return l.cfg.MSHRs
+	}
+	q := l.quota.MSHRQuota(thread)
+	if q > l.cfg.MSHRs {
+		return l.cfg.MSHRs
+	}
+	return q
+}
+
+// Read performs a demand read for a cache line. On ReadMiss and
+// ReadMSHRHit the callback fires when the fill completes; on ReadHit the
+// caller should treat the data as ready HitLatency cycles later; on
+// ReadBlocked the caller must retry.
+func (l *LLC) Read(lineAddr uint64, thread int, done func()) ReadOutcome {
+	if ln := l.lookup(lineAddr); ln != nil {
+		l.lruTick++
+		ln.lru = l.lruTick
+		l.stats.Hits[thread]++
+		return ReadHit
+	}
+	if m, ok := l.mshrs[lineAddr]; ok {
+		m.waiters = append(m.waiters, done)
+		l.stats.MSHRHits[thread]++
+		return ReadMSHRHit
+	}
+	// Need a fresh MSHR: check total capacity, then the thread quota
+	// (BreakHammer's throttling point), then MC queue space.
+	if l.totalUsed >= l.cfg.MSHRs {
+		l.stats.MSHRBlocks[thread]++
+		return ReadBlocked
+	}
+	if l.inUse[thread] >= l.quotaFor(thread) {
+		l.stats.QuotaBlocks[thread]++
+		return ReadBlocked
+	}
+	if !l.backend.EnqueueRead(lineAddr, thread) {
+		l.stats.QueueBlocks[thread]++
+		return ReadBlocked
+	}
+	l.mshrs[lineAddr] = &mshr{line: lineAddr, thread: thread, waiters: []func(){done}}
+	l.inUse[thread]++
+	l.totalUsed++
+	l.stats.Misses[thread]++
+	return ReadMiss
+}
+
+// Write performs a store. Stores are fire-and-forget from the core's
+// perspective (a write buffer is assumed); a write miss allocates an MSHR
+// like a read (write-allocate) and marks the line dirty when it fills.
+// It returns false when the store could not be accepted (retry).
+func (l *LLC) Write(lineAddr uint64, thread int) bool {
+	if ln := l.lookup(lineAddr); ln != nil {
+		l.lruTick++
+		ln.lru = l.lruTick
+		ln.dirty = true
+		l.stats.WriteHits[thread]++
+		return true
+	}
+	if m, ok := l.mshrs[lineAddr]; ok {
+		m.wantFill = true
+		l.stats.WriteHits[thread]++ // merged; counts as hit-in-flight
+		return true
+	}
+	if l.totalUsed >= l.cfg.MSHRs {
+		l.stats.MSHRBlocks[thread]++
+		return false
+	}
+	if l.inUse[thread] >= l.quotaFor(thread) {
+		l.stats.QuotaBlocks[thread]++
+		return false
+	}
+	if !l.backend.EnqueueRead(lineAddr, thread) {
+		l.stats.QueueBlocks[thread]++
+		return false
+	}
+	l.mshrs[lineAddr] = &mshr{line: lineAddr, thread: thread, wantFill: true}
+	l.inUse[thread]++
+	l.totalUsed++
+	l.stats.WriteMisses[thread]++
+	return true
+}
+
+// Fill delivers a line from memory: it releases the MSHR, installs the
+// line (possibly evicting a dirty victim), and wakes all waiters.
+func (l *LLC) Fill(lineAddr uint64) {
+	m, ok := l.mshrs[lineAddr]
+	if !ok {
+		l.stats.FillsDropped++
+		return
+	}
+	delete(l.mshrs, lineAddr)
+	l.inUse[m.thread]--
+	l.totalUsed--
+
+	l.install(lineAddr, m.wantFill)
+	for _, w := range m.waiters {
+		if w != nil {
+			w()
+		}
+	}
+}
+
+// install places a line into its set, evicting the LRU way.
+func (l *LLC) install(lineAddr uint64, dirty bool) {
+	set := l.setOf(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		l.writeback(v.tag)
+	}
+	l.lruTick++
+	*v = line{tag: lineAddr, valid: true, dirty: dirty, lru: l.lruTick}
+}
+
+func (l *LLC) writeback(lineAddr uint64) {
+	l.stats.Writebacks++
+	if !l.backend.EnqueueWrite(lineAddr, 0) {
+		l.pendingWB = append(l.pendingWB, lineAddr)
+	}
+}
+
+// Tick retries writebacks that the memory controller previously rejected.
+func (l *LLC) Tick() {
+	for len(l.pendingWB) > 0 {
+		if !l.backend.EnqueueWrite(l.pendingWB[0], 0) {
+			return
+		}
+		l.pendingWB = l.pendingWB[1:]
+	}
+}

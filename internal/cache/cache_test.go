@@ -1,0 +1,301 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeBackend records enqueued requests and can simulate full queues.
+type fakeBackend struct {
+	reads      []uint64
+	writes     []uint64
+	rejectRead bool
+	rejectWR   bool
+}
+
+func (f *fakeBackend) EnqueueRead(line uint64, thread int) bool {
+	if f.rejectRead {
+		return false
+	}
+	f.reads = append(f.reads, line)
+	return true
+}
+
+func (f *fakeBackend) EnqueueWrite(line uint64, thread int) bool {
+	if f.rejectWR {
+		return false
+	}
+	f.writes = append(f.writes, line)
+	return true
+}
+
+type fixedQuota map[int]int
+
+func (q fixedQuota) MSHRQuota(t int) int { return q[t] }
+
+func smallConfig() Config {
+	return Config{SizeBytes: 4096, Ways: 2, LineBytes: 64, MSHRs: 4, HitLatency: 10}
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	c := DefaultConfig()
+	if got, want := c.Sets(), (8<<20)/(8*64); got != want {
+		t.Errorf("Sets = %d, want %d", got, want)
+	}
+}
+
+func TestMissFillHit(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 2, be)
+
+	fired := false
+	out := l.Read(0x100, 0, func() { fired = true })
+	if out != ReadMiss {
+		t.Fatalf("first read outcome = %v, want ReadMiss", out)
+	}
+	if len(be.reads) != 1 || be.reads[0] != 0x100 {
+		t.Fatalf("backend reads = %v, want [0x100]", be.reads)
+	}
+	if l.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", l.InFlight())
+	}
+	l.Fill(0x100)
+	if !fired {
+		t.Error("fill did not fire the waiter callback")
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("InFlight after fill = %d, want 0", l.InFlight())
+	}
+	if out := l.Read(0x100, 0, nil); out != ReadHit {
+		t.Errorf("read after fill = %v, want ReadHit", out)
+	}
+}
+
+func TestMSHRHitMerges(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 2, be)
+
+	var n int
+	l.Read(0x40, 0, func() { n++ })
+	if out := l.Read(0x40, 1, func() { n++ }); out != ReadMSHRHit {
+		t.Fatalf("second read = %v, want ReadMSHRHit", out)
+	}
+	if len(be.reads) != 1 {
+		t.Fatalf("backend saw %d reads, want 1 (merged)", len(be.reads))
+	}
+	l.Fill(0x40)
+	if n != 2 {
+		t.Errorf("waiters fired = %d, want 2", n)
+	}
+	// The MSHR slot is charged to the allocating thread only.
+	if got := l.Stats().MSHRHits[1]; got != 1 {
+		t.Errorf("MSHRHits[1] = %d, want 1", got)
+	}
+}
+
+func TestThreadQuotaBlocksAllocation(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 2, be)
+	l.SetQuotaProvider(fixedQuota{0: 1, 1: 4})
+
+	if out := l.Read(0x40, 0, nil); out != ReadMiss {
+		t.Fatalf("first miss = %v", out)
+	}
+	if out := l.Read(0x80, 0, nil); out != ReadBlocked {
+		t.Errorf("over-quota read = %v, want ReadBlocked", out)
+	}
+	if got := l.Stats().QuotaBlocks[0]; got != 1 {
+		t.Errorf("QuotaBlocks[0] = %d, want 1", got)
+	}
+	// Thread 1 is unaffected (its own quota applies).
+	if out := l.Read(0x80, 1, nil); out != ReadMiss {
+		t.Errorf("thread 1 read = %v, want ReadMiss", out)
+	}
+	// Thread 0 can still hit lines in flight (MSHR hit allowed over quota).
+	if out := l.Read(0x80, 0, nil); out != ReadMSHRHit {
+		t.Errorf("thread 0 MSHR hit = %v, want ReadMSHRHit (quota must not block merges)", out)
+	}
+}
+
+func TestZeroQuotaStillAllowsHits(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 1, be)
+	l.Read(0x40, 0, nil)
+	l.Fill(0x40)
+	l.SetQuotaProvider(fixedQuota{0: 0})
+	if out := l.Read(0x40, 0, nil); out != ReadHit {
+		t.Errorf("cache hit with zero quota = %v, want ReadHit (paper: suspects may access cached data)", out)
+	}
+	if out := l.Read(0x80, 0, nil); out != ReadBlocked {
+		t.Errorf("miss with zero quota = %v, want ReadBlocked", out)
+	}
+}
+
+func TestTotalMSHRLimit(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 1, be) // 4 MSHRs
+	for i := 0; i < 4; i++ {
+		if out := l.Read(uint64(0x1000+i*64), 0, nil); out != ReadMiss {
+			t.Fatalf("miss %d = %v", i, out)
+		}
+	}
+	if out := l.Read(0x9000, 0, nil); out != ReadBlocked {
+		t.Errorf("5th outstanding miss = %v, want ReadBlocked", out)
+	}
+	if got := l.Stats().MSHRBlocks[0]; got != 1 {
+		t.Errorf("MSHRBlocks = %d, want 1", got)
+	}
+}
+
+func TestBackendQueueFullBlocks(t *testing.T) {
+	be := &fakeBackend{rejectRead: true}
+	l := New(smallConfig(), 1, be)
+	if out := l.Read(0x40, 0, nil); out != ReadBlocked {
+		t.Errorf("read with full MC queue = %v, want ReadBlocked", out)
+	}
+	if l.InFlight() != 0 {
+		t.Error("rejected read must not hold an MSHR")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	be := &fakeBackend{}
+	cfg := smallConfig() // 2 ways, 32 sets
+	l := New(cfg, 1, be)
+	sets := uint64(cfg.Sets())
+
+	// Fill two ways of set 0 and dirty one of them.
+	a := uint64(0)
+	b := sets
+	c := 2 * sets
+	l.Read(a, 0, nil)
+	l.Fill(a)
+	if !l.Write(a, 0) {
+		t.Fatal("write hit rejected")
+	}
+	l.Read(b, 0, nil)
+	l.Fill(b)
+	// Fill a third line in the same set: evicts LRU = a (dirty).
+	l.Read(c, 0, nil)
+	l.Fill(c)
+	if len(be.writes) != 1 || be.writes[0] != a {
+		t.Errorf("writebacks = %v, want [%#x]", be.writes, a)
+	}
+	if l.Stats().Writebacks != 1 {
+		t.Errorf("Writebacks stat = %d, want 1", l.Stats().Writebacks)
+	}
+}
+
+func TestWritebackRetryAfterReject(t *testing.T) {
+	be := &fakeBackend{rejectWR: true}
+	cfg := smallConfig()
+	l := New(cfg, 1, be)
+	sets := uint64(cfg.Sets())
+	for i := uint64(0); i < 3; i++ {
+		addr := i * sets
+		l.Read(addr, 0, nil)
+		l.Fill(addr)
+		l.Write(addr, 0)
+	}
+	// The eviction happened while the queue was full.
+	if len(be.writes) != 0 {
+		t.Fatal("write must have been rejected")
+	}
+	be.rejectWR = false
+	l.Tick()
+	if len(be.writes) != 1 {
+		t.Errorf("Tick did not retry the pending writeback: %v", be.writes)
+	}
+}
+
+func TestWriteMissAllocatesAndFillsDirty(t *testing.T) {
+	be := &fakeBackend{}
+	cfg := smallConfig()
+	l := New(cfg, 1, be)
+	if !l.Write(0x40, 0) {
+		t.Fatal("write miss rejected")
+	}
+	if len(be.reads) != 1 {
+		t.Fatalf("write-allocate must fetch the line; reads = %v", be.reads)
+	}
+	l.Fill(0x40)
+	// Evict it; it must write back because the fill was dirty.
+	sets := uint64(cfg.Sets())
+	for i := uint64(1); i <= 2; i++ {
+		addr := 0x40 + i*sets
+		l.Read(addr, 0, nil)
+		l.Fill(addr)
+	}
+	if len(be.writes) != 1 {
+		t.Errorf("dirty-filled line not written back on eviction; writes = %v", be.writes)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	be := &fakeBackend{}
+	cfg := smallConfig()
+	l := New(cfg, 1, be)
+	sets := uint64(cfg.Sets())
+	a, b, c := uint64(0), sets, 2*sets
+	l.Read(a, 0, nil)
+	l.Fill(a)
+	l.Read(b, 0, nil)
+	l.Fill(b)
+	// Touch a so that b becomes LRU.
+	if out := l.Read(a, 0, nil); out != ReadHit {
+		t.Fatal("expected hit on a")
+	}
+	l.Read(c, 0, nil)
+	l.Fill(c)
+	if out := l.Read(a, 0, nil); out != ReadHit {
+		t.Error("a was evicted despite being MRU")
+	}
+	if out := l.Read(b, 0, nil); out != ReadMiss {
+		t.Error("b should have been the LRU victim")
+	}
+}
+
+func TestFillWithoutMSHRCounted(t *testing.T) {
+	be := &fakeBackend{}
+	l := New(smallConfig(), 1, be)
+	l.Fill(0xdead)
+	if l.Stats().FillsDropped != 1 {
+		t.Error("unexpected fill must be counted in FillsDropped")
+	}
+}
+
+// Property: MSHR occupancy equals allocations minus fills at all times and
+// never exceeds the configured total.
+func TestMSHRAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		be := &fakeBackend{}
+		l := New(smallConfig(), 2, be)
+		outstanding := map[uint64]bool{}
+		for _, op := range ops {
+			lineAddr := uint64(op%16) * 64
+			if op%3 == 0 && len(outstanding) > 0 {
+				// Fill an arbitrary outstanding line.
+				for k := range outstanding {
+					l.Fill(k)
+					delete(outstanding, k)
+					break
+				}
+				continue
+			}
+			thread := int(op) % 2
+			if out := l.Read(lineAddr, thread, nil); out == ReadMiss {
+				outstanding[lineAddr] = true
+			}
+			if l.InFlight() != len(outstanding) {
+				return false
+			}
+			if l.InFlight() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package core implements BreakHammer, the paper's contribution: a memory
+// controller-side mechanism that (1) observes the RowHammer-preventive
+// actions of an attached mitigation mechanism, (2) identifies hardware
+// threads that trigger many of them via thresholded deviation from the
+// mean (Alg. 1), and (3) throttles suspects by shrinking their last-level
+// cache MSHR allocation quota (Expression 1), restoring the quota after a
+// full clean throttling window.
+//
+// BreakHammer implements breakhammer/internal/mitigation.Observer (score
+// attribution) and breakhammer/internal/cache.QuotaProvider (throttling).
+package core
+
+// Detector selects the suspect-identification statistic.
+type Detector int
+
+// Suspect-identification mechanisms. DetectMean is the paper's Alg. 1
+// (thresholded deviation from the mean). DetectMedian is the footnote-6
+// direction — a statistic "sensitive to the fraction of aggressive
+// threads": the median is unmoved until a majority of threads turn
+// aggressive, so rigging the average (§5.2) stops working.
+const (
+	DetectMean Detector = iota
+	DetectMedian
+)
+
+// Params is BreakHammer's configuration (Table 2 of the paper).
+type Params struct {
+	Window  int64   // TH_window: throttling window length in cycles (paper: 64 ms)
+	Threat  float64 // TH_threat: minimum score to consider a thread (paper: 32)
+	Outlier float64 // TH_outlier: allowed deviation from the mean (paper: 0.65)
+	POld    int     // P_oldsuspect: quota decrement for repeat suspects (paper: 1)
+	PNew    int     // P_newsuspect: quota divisor for new suspects (paper: 10)
+	MSHRs   int     // full per-thread quota (all cache-miss buffers)
+	Threads int     // hardware threads
+
+	Detector Detector // suspect statistic (default: Alg. 1's mean)
+}
+
+// DefaultParams returns the Table 2 configuration for a system with the
+// given thread count, MSHR count and throttling-window length in cycles.
+func DefaultParams(threads, mshrs int, windowCycles int64) Params {
+	return Params{
+		Window:  windowCycles,
+		Threat:  32,
+		Outlier: 0.65,
+		POld:    1,
+		PNew:    10,
+		MSHRs:   mshrs,
+		Threads: threads,
+	}
+}
+
+// Stats counts BreakHammer events.
+type Stats struct {
+	ActionsObserved int64   // preventive actions attributed
+	SuspectEvents   []int64 // per-thread suspect markings (transitions)
+	SuspectWindows  []int64 // per-thread windows spent throttled
+	WindowRotations int64
+}
+
+// BreakHammer holds the per-thread score counters (two time-interleaved
+// sets, Fig. 4), the activation-attribution counters, and the quota state.
+type BreakHammer struct {
+	p Params
+
+	// Two counter sets: both train on every action; only the active set
+	// answers suspect-identification queries; at each window boundary the
+	// active set resets and the other (still-trained) set becomes active.
+	scores [2][]float64
+	active int
+
+	acts      []int64 // per-thread activations since the last preventive action
+	totalActs int64
+
+	suspect       []bool // marked during the current window
+	recentSuspect []bool // marked during the previous window
+	quota         []int
+
+	windowEnd int64
+	stats     Stats
+}
+
+// New constructs BreakHammer. All threads start with the full MSHR quota
+// and no suspect marks (§4.3: "in the very first throttling window ...").
+func New(p Params) *BreakHammer {
+	b := &BreakHammer{p: p, windowEnd: p.Window}
+	for s := range b.scores {
+		b.scores[s] = make([]float64, p.Threads)
+	}
+	b.acts = make([]int64, p.Threads)
+	b.suspect = make([]bool, p.Threads)
+	b.recentSuspect = make([]bool, p.Threads)
+	b.quota = make([]int, p.Threads)
+	for i := range b.quota {
+		b.quota[i] = p.MSHRs
+	}
+	b.stats = Stats{
+		SuspectEvents:  make([]int64, p.Threads),
+		SuspectWindows: make([]int64, p.Threads),
+	}
+	return b
+}
+
+// Params returns the configuration.
+func (b *BreakHammer) Params() Params { return b.p }
+
+// Stats returns the accumulated counters.
+func (b *BreakHammer) Stats() *Stats { return &b.stats }
+
+// Score returns a thread's RowHammer-preventive score in the active
+// counter set (the optional system-software feedback interface of §4).
+func (b *BreakHammer) Score(thread int) float64 { return b.scores[b.active][thread] }
+
+// IsSuspect reports whether a thread is currently marked as a suspect.
+func (b *BreakHammer) IsSuspect(thread int) bool { return b.suspect[thread] }
+
+// MSHRQuota implements cache.QuotaProvider.
+func (b *BreakHammer) MSHRQuota(thread int) int { return b.quota[thread] }
+
+// OnActivate records a demand activation for attribution. Writeback
+// traffic (thread < 0) is not attributable to any thread and is ignored.
+func (b *BreakHammer) OnActivate(thread int) {
+	if thread < 0 || thread >= len(b.acts) {
+		return
+	}
+	b.acts[thread]++
+	b.totalActs++
+}
+
+// Tick rotates the throttling window when it expires. It is cheap (one
+// comparison) and intended to be called every cycle.
+func (b *BreakHammer) Tick(now int64) {
+	if now < b.windowEnd {
+		return
+	}
+	b.rotate()
+	b.windowEnd += b.p.Window
+}
+
+// rotate ends a throttling window: quotas of threads that stayed clean are
+// restored, the active counter set is reset, and the trained standby set
+// takes over (time-interleaving, Fig. 4).
+func (b *BreakHammer) rotate() {
+	for i := range b.suspect {
+		if b.suspect[i] {
+			b.stats.SuspectWindows[i]++
+			b.recentSuspect[i] = true
+		} else {
+			b.recentSuspect[i] = false
+			b.quota[i] = b.p.MSHRs // full restore after one clean window
+		}
+		b.suspect[i] = false
+	}
+	for i := range b.scores[b.active] {
+		b.scores[b.active][i] = 0
+	}
+	b.active = 1 - b.active
+	b.stats.WindowRotations++
+}
+
+// OnPreventiveAction implements mitigation.Observer: Alg. 1's
+// updateScores. The action's score is attributed to every thread in
+// proportion to its share of activations since the previous action, then
+// outlier analysis marks suspects.
+func (b *BreakHammer) OnPreventiveAction(now int64) {
+	b.stats.ActionsObserved++
+	if b.totalActs > 0 {
+		total := float64(b.totalActs)
+		for i, a := range b.acts {
+			if a == 0 {
+				continue
+			}
+			frac := float64(a) / total
+			b.scores[0][i] += frac
+			b.scores[1][i] += frac
+			b.acts[i] = 0
+		}
+		b.totalActs = 0
+	}
+	b.identifySuspects()
+}
+
+// OnThreadPreventiveAction implements mitigation.Observer for mechanisms
+// with direct attribution (REGA): the named thread's score increments by
+// one.
+func (b *BreakHammer) OnThreadPreventiveAction(thread int, now int64) {
+	if thread < 0 || thread >= b.p.Threads {
+		return
+	}
+	b.stats.ActionsObserved++
+	b.scores[0][thread]++
+	b.scores[1][thread]++
+	b.identifySuspects()
+}
+
+// identifySuspects is Alg. 1 lines 8-18: a thread is a suspect when its
+// score in the active set exceeds TH_threat AND exceeds the reference
+// statistic of all scores by a factor of (1 + TH_outlier). The reference
+// is the mean (the paper's Alg. 1) or the median (footnote 6's
+// rigging-resistant variant).
+func (b *BreakHammer) identifySuspects() {
+	s := b.scores[b.active]
+	var ref float64
+	switch b.p.Detector {
+	case DetectMedian:
+		ref = median(s)
+	default:
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		ref = sum / float64(len(s))
+	}
+	maxDeviation := (1 + b.p.Outlier) * ref
+	for i, v := range s {
+		if v < b.p.Threat {
+			continue // avoid marking threads with low scores
+		}
+		if v > maxDeviation {
+			b.markSuspect(i)
+		}
+	}
+}
+
+// median returns the median of xs without mutating it. Thread counts are
+// small (a handful of hardware threads), so an insertion copy suffices.
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// markSuspect applies Expression 1 on the unmarked->marked transition:
+// repeat suspects lose a constant quota slice (P_oldsuspect); new suspects
+// have their quota divided by P_newsuspect.
+func (b *BreakHammer) markSuspect(i int) {
+	if b.suspect[i] {
+		return // already throttled for the remainder of this window
+	}
+	b.suspect[i] = true
+	b.stats.SuspectEvents[i]++
+	if b.recentSuspect[i] {
+		q := b.quota[i] - b.p.POld
+		if q < 0 {
+			q = 0
+		}
+		b.quota[i] = q
+	} else {
+		b.quota[i] /= b.p.PNew
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	p := DefaultParams(4, 64, 1000)
+	return p
+}
+
+func TestDefaultParamsMatchTable2(t *testing.T) {
+	p := DefaultParams(4, 64, 153_600_000)
+	if p.Threat != 32 {
+		t.Errorf("TH_threat = %g, want 32", p.Threat)
+	}
+	if p.Outlier != 0.65 {
+		t.Errorf("TH_outlier = %g, want 0.65", p.Outlier)
+	}
+	if p.POld != 1 || p.PNew != 10 {
+		t.Errorf("P_old/P_new = %d/%d, want 1/10", p.POld, p.PNew)
+	}
+}
+
+func TestProportionalAttribution(t *testing.T) {
+	b := New(testParams())
+	// Thread 0: 3 ACTs, thread 1: 1 ACT. One action attributes 0.75/0.25.
+	b.OnActivate(0)
+	b.OnActivate(0)
+	b.OnActivate(0)
+	b.OnActivate(1)
+	b.OnPreventiveAction(10)
+	if got := b.Score(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Score(0) = %g, want 0.75", got)
+	}
+	if got := b.Score(1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Score(1) = %g, want 0.25", got)
+	}
+	// Attribution counters reset after the action (§4.1).
+	b.OnActivate(2)
+	b.OnPreventiveAction(20)
+	if got := b.Score(2); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Score(2) = %g, want 1.0 (counters must reset per action)", got)
+	}
+}
+
+func TestScoresSumToActionCount(t *testing.T) {
+	// Property: total score across threads equals the number of actions
+	// with at least one attributable activation.
+	f := func(pattern []uint8) bool {
+		b := New(testParams())
+		actions := 0
+		pendingActs := false
+		for _, op := range pattern {
+			if op%5 == 4 {
+				b.OnPreventiveAction(0)
+				if pendingActs {
+					actions++
+					pendingActs = false
+				}
+				continue
+			}
+			b.OnActivate(int(op) % 4)
+			pendingActs = true
+		}
+		var sum float64
+		for i := 0; i < 4; i++ {
+			sum += b.Score(i)
+		}
+		return math.Abs(sum-float64(actions)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivationsWithoutActionsNeverSuspect(t *testing.T) {
+	b := New(testParams())
+	for i := 0; i < 1_000_000; i++ {
+		b.OnActivate(0)
+	}
+	if b.IsSuspect(0) {
+		t.Error("activations alone (no preventive actions) must not mark a suspect")
+	}
+	if b.MSHRQuota(0) != 64 {
+		t.Error("quota reduced without suspect identification")
+	}
+}
+
+// drive feeds n preventive actions all attributable to the given thread.
+func drive(b *BreakHammer, thread, n int, now int64) {
+	for i := 0; i < n; i++ {
+		b.OnActivate(thread)
+		b.OnPreventiveAction(now)
+	}
+}
+
+func TestOutlierDetectionMarksAggressor(t *testing.T) {
+	b := New(testParams())
+	// Below TH_threat: no marking regardless of deviation.
+	drive(b, 0, 31, 0)
+	if b.IsSuspect(0) {
+		t.Fatal("marked below TH_threat")
+	}
+	// Crossing TH_threat with all scores concentrated on thread 0:
+	// mean = 32/4 = 8, maxDeviation = 1.65*8 = 13.2 < 32 -> suspect.
+	drive(b, 0, 1, 0)
+	if !b.IsSuspect(0) {
+		t.Fatal("aggressor not marked at TH_threat")
+	}
+	if got := b.MSHRQuota(0); got != 6 {
+		t.Errorf("new suspect quota = %d, want 64/10 = 6", got)
+	}
+	// Other threads unaffected.
+	for i := 1; i < 4; i++ {
+		if b.IsSuspect(i) || b.MSHRQuota(i) != 64 {
+			t.Errorf("thread %d affected by thread 0's throttling", i)
+		}
+	}
+}
+
+func TestBalancedThreadsNeverSuspect(t *testing.T) {
+	// All four threads trigger equally: nobody deviates from the mean, so
+	// nobody is marked even far above TH_threat.
+	b := New(testParams())
+	for round := 0; round < 100; round++ {
+		for tid := 0; tid < 4; tid++ {
+			drive(b, tid, 1, 0)
+		}
+	}
+	for tid := 0; tid < 4; tid++ {
+		if b.IsSuspect(tid) {
+			t.Errorf("balanced thread %d marked suspect", tid)
+		}
+	}
+}
+
+func TestRepeatSuspectLosesConstantQuota(t *testing.T) {
+	p := testParams()
+	b := New(p)
+	drive(b, 0, 40, 0) // marked in window 1; quota 64/10 = 6
+	if got := b.MSHRQuota(0); got != 6 {
+		t.Fatalf("quota after first marking = %d, want 6", got)
+	}
+	b.Tick(p.Window) // window 1 ends; recent_suspect[0] = true
+	drive(b, 0, 40, p.Window+1)
+	if got := b.MSHRQuota(0); got != 5 {
+		t.Errorf("repeat suspect quota = %d, want 6-P_old = 5", got)
+	}
+	// Keep being caught: quota decays to zero and stays there.
+	for w := int64(2); w < 12; w++ {
+		b.Tick(p.Window * w)
+		drive(b, 0, 40, p.Window*w+1)
+	}
+	if got := b.MSHRQuota(0); got != 0 {
+		t.Errorf("long-term suspect quota = %d, want 0 (Expression 1 floor)", got)
+	}
+}
+
+func TestCleanWindowRestoresQuota(t *testing.T) {
+	p := testParams()
+	b := New(p)
+	drive(b, 0, 40, 0)
+	if b.MSHRQuota(0) == 64 {
+		t.Fatal("suspect not throttled")
+	}
+	// Window ends; thread stays clean for a full window.
+	b.Tick(p.Window)
+	if b.MSHRQuota(0) != 6 {
+		t.Fatal("quota must persist while recent_suspect is true")
+	}
+	b.Tick(2 * p.Window)
+	if got := b.MSHRQuota(0); got != 64 {
+		t.Errorf("quota after clean window = %d, want full restore to 64", got)
+	}
+}
+
+func TestMarkingOncePerWindow(t *testing.T) {
+	b := New(testParams())
+	drive(b, 0, 40, 0)
+	q := b.MSHRQuota(0)
+	drive(b, 0, 100, 0) // more actions in the same window
+	if b.MSHRQuota(0) != q {
+		t.Error("quota reduced more than once within a single window")
+	}
+	if b.Stats().SuspectEvents[0] != 1 {
+		t.Errorf("SuspectEvents = %d, want 1", b.Stats().SuspectEvents[0])
+	}
+}
+
+func TestTimeInterleavedSetsRetainTraining(t *testing.T) {
+	// After a window rotation the new active set must already hold the
+	// previous window's training (Fig. 4): an attacker cannot escape
+	// detection by exploiting a counter reset.
+	p := testParams()
+	b := New(p)
+	drive(b, 0, 20, 0) // train both sets, below threat
+	b.Tick(p.Window)   // rotate: active set was reset, standby takes over
+	if got := b.Score(0); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("post-rotation score = %g, want 20 (trained standby)", got)
+	}
+	// 12 more actions push the already-trained set over TH_threat=32.
+	drive(b, 0, 12, p.Window+1)
+	if !b.IsSuspect(0) {
+		t.Error("attacker escaped detection across the window boundary")
+	}
+}
+
+func TestRotationResetsOnlyActiveSet(t *testing.T) {
+	p := testParams()
+	b := New(p)
+	drive(b, 0, 10, 0)
+	b.Tick(p.Window)
+	// Set that was active is now zeroed and training continues on both.
+	drive(b, 0, 5, p.Window+1)
+	if got := b.Score(0); math.Abs(got-15) > 1e-9 {
+		t.Errorf("active score = %g, want 15", got)
+	}
+	b.Tick(2 * p.Window)
+	// The set trained only since the first rotation: 5 actions.
+	if got := b.Score(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("score after second rotation = %g, want 5", got)
+	}
+}
+
+func TestPerThreadAttributionREGA(t *testing.T) {
+	b := New(testParams())
+	for i := 0; i < 40; i++ {
+		b.OnThreadPreventiveAction(2, 0)
+	}
+	if !b.IsSuspect(2) {
+		t.Error("REGA-style attribution did not mark the thread")
+	}
+	if got := b.Score(2); got != 40 {
+		t.Errorf("Score = %g, want 40", got)
+	}
+	b.OnThreadPreventiveAction(-1, 0) // ignored
+	b.OnThreadPreventiveAction(99, 0) // ignored
+	if b.Stats().ActionsObserved != 40 {
+		t.Errorf("ActionsObserved = %d, want 40", b.Stats().ActionsObserved)
+	}
+}
+
+func TestQuotaProviderInterfaceContract(t *testing.T) {
+	// Expression 1's quota is what the LLC consumes via MSHRQuota.
+	b := New(testParams())
+	for tid := 0; tid < 4; tid++ {
+		if got := b.MSHRQuota(tid); got != 64 {
+			t.Errorf("initial quota[%d] = %d, want 64", tid, got)
+		}
+	}
+}
+
+func TestSuspectWindowStats(t *testing.T) {
+	p := testParams()
+	b := New(p)
+	drive(b, 1, 40, 0)
+	b.Tick(p.Window)
+	if got := b.Stats().SuspectWindows[1]; got != 1 {
+		t.Errorf("SuspectWindows = %d, want 1", got)
+	}
+	if got := b.Stats().WindowRotations; got != 1 {
+		t.Errorf("WindowRotations = %d, want 1", got)
+	}
+}
+
+func TestTickOnlyRotatesOnBoundary(t *testing.T) {
+	p := testParams()
+	b := New(p)
+	for now := int64(0); now < p.Window; now += 10 {
+		b.Tick(now)
+	}
+	if b.Stats().WindowRotations != 0 {
+		t.Error("rotated before the window elapsed")
+	}
+	b.Tick(p.Window)
+	if b.Stats().WindowRotations != 1 {
+		t.Error("did not rotate at the boundary")
+	}
+}
+
+// Property: quotas are always within [0, MSHRs].
+func TestQuotaBoundsProperty(t *testing.T) {
+	p := testParams()
+	f := func(ops []uint8) bool {
+		b := New(p)
+		now := int64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				b.OnActivate(int(op) % 4)
+			case 1:
+				b.OnPreventiveAction(now)
+			case 2:
+				b.OnThreadPreventiveAction(int(op)%4, now)
+			case 3:
+				now += p.Window
+				b.Tick(now)
+			}
+			for tid := 0; tid < 4; tid++ {
+				q := b.MSHRQuota(tid)
+				if q < 0 || q > p.MSHRs {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

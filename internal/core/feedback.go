@@ -1,0 +1,90 @@
+package core
+
+// This file implements the paper's optional feedback to the system
+// software (§4, "Optional Feedback to the System Software"): BreakHammer
+// exposes each hardware thread's RowHammer-preventive score counter the
+// way thread-specific special registers (e.g. CR3) are exposed, so the
+// OS can associate scores with software threads, address spaces,
+// processes, or users — and, per §5.2, defeat multi-threaded attacks that
+// rotate across hardware threads by accounting at owner granularity.
+
+// Snapshot is a point-in-time copy of BreakHammer's per-thread state.
+type Snapshot struct {
+	Scores  []float64 // active-set RowHammer-preventive scores
+	Suspect []bool    // currently marked suspects
+	Quota   []int     // current MSHR quotas
+}
+
+// Snapshot returns a copy of the per-thread state for system software.
+func (b *BreakHammer) Snapshot() Snapshot {
+	s := Snapshot{
+		Scores:  append([]float64(nil), b.scores[b.active]...),
+		Suspect: append([]bool(nil), b.suspect...),
+		Quota:   append([]int(nil), b.quota...),
+	}
+	return s
+}
+
+// OwnerTracker is the §5.2 system-software-side accumulator: it maps
+// hardware threads to owners (processes, address spaces, users) and
+// accumulates RowHammer-preventive scores per owner across scheduling
+// rounds. An attacker that rotates its activity over many hardware
+// threads evades per-thread outlier detection only to surface here as
+// one owner with an outsized cumulative score.
+type OwnerTracker struct {
+	ownerOf []int
+	last    []float64
+	cum     map[int]float64
+}
+
+// NewOwnerTracker builds a tracker for the given number of hardware
+// threads. All threads start owned by owner 0.
+func NewOwnerTracker(threads int) *OwnerTracker {
+	return &OwnerTracker{
+		ownerOf: make([]int, threads),
+		last:    make([]float64, threads),
+		cum:     make(map[int]float64),
+	}
+}
+
+// Assign sets a hardware thread's owner (a context-switch hook).
+// Reassignment resets the per-thread delta baseline so past score mass
+// stays with the previous owner.
+func (t *OwnerTracker) Assign(thread, owner int) {
+	if thread < 0 || thread >= len(t.ownerOf) {
+		return
+	}
+	t.ownerOf[thread] = owner
+	// The next Observe charges only score accumulated from here on.
+}
+
+// Observe accumulates the score growth since the previous observation to
+// each thread's current owner. Score drops (window rotations) reset the
+// baseline without negative charging.
+func (t *OwnerTracker) Observe(s Snapshot) {
+	for i, score := range s.Scores {
+		if i >= len(t.ownerOf) {
+			break
+		}
+		delta := score - t.last[i]
+		if delta > 0 {
+			t.cum[t.ownerOf[i]] += delta
+		}
+		t.last[i] = score
+	}
+}
+
+// Cumulative returns an owner's accumulated RowHammer-preventive score.
+func (t *OwnerTracker) Cumulative(owner int) float64 { return t.cum[owner] }
+
+// TopOwner returns the owner with the highest cumulative score and that
+// score. With no observations it returns (-1, 0).
+func (t *OwnerTracker) TopOwner() (owner int, score float64) {
+	owner = -1
+	for o, s := range t.cum {
+		if s > score || owner == -1 && s == score {
+			owner, score = o, s
+		}
+	}
+	return owner, score
+}

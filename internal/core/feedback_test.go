@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotIsACopy(t *testing.T) {
+	b := New(testParams())
+	drive(b, 0, 40, 0)
+	s := b.Snapshot()
+	if !s.Suspect[0] {
+		t.Fatal("snapshot missed the suspect flag")
+	}
+	if s.Quota[0] != 6 {
+		t.Fatalf("snapshot quota = %d, want 6", s.Quota[0])
+	}
+	// Mutating the snapshot must not touch BreakHammer.
+	s.Scores[0] = -1
+	s.Quota[1] = 0
+	if b.Score(0) < 0 || b.MSHRQuota(1) != 64 {
+		t.Error("snapshot aliases internal state")
+	}
+}
+
+func TestOwnerTrackerAggregatesAcrossThreads(t *testing.T) {
+	// §5.2 circumvention: an attacker rotates across threads 0 and 1; the
+	// per-thread scores stay moderate, but the owner's cumulative score
+	// accumulates the full attack.
+	tr := NewOwnerTracker(4)
+	tr.Assign(0, 7) // attacker process owns threads 0 and 1
+	tr.Assign(1, 7)
+	tr.Assign(2, 1)
+	tr.Assign(3, 1)
+
+	tr.Observe(Snapshot{Scores: []float64{10, 0, 2, 1}})
+	tr.Observe(Snapshot{Scores: []float64{10, 12, 3, 2}}) // rotation: thread 1 takes over
+	if got := tr.Cumulative(7); math.Abs(got-22) > 1e-12 {
+		t.Errorf("attacker owner cumulative = %g, want 22", got)
+	}
+	if got := tr.Cumulative(1); math.Abs(got-5) > 1e-12 {
+		t.Errorf("benign owner cumulative = %g, want 5", got)
+	}
+	owner, score := tr.TopOwner()
+	if owner != 7 || score != 22 {
+		t.Errorf("TopOwner = (%d, %g), want (7, 22)", owner, score)
+	}
+}
+
+func TestOwnerTrackerHandlesWindowResets(t *testing.T) {
+	tr := NewOwnerTracker(2)
+	tr.Observe(Snapshot{Scores: []float64{5, 1}})
+	// Window rotation drops the active-set score; no negative charging.
+	tr.Observe(Snapshot{Scores: []float64{0, 0}})
+	tr.Observe(Snapshot{Scores: []float64{3, 1}})
+	if got := tr.Cumulative(0); math.Abs(got-10) > 1e-12 {
+		t.Errorf("cumulative = %g, want 5+0+5 = 10", got)
+	}
+}
+
+func TestOwnerTrackerReassignment(t *testing.T) {
+	tr := NewOwnerTracker(1)
+	tr.Assign(0, 1)
+	tr.Observe(Snapshot{Scores: []float64{4}})
+	tr.Assign(0, 2) // context switch
+	tr.Observe(Snapshot{Scores: []float64{9}})
+	if got := tr.Cumulative(1); got != 4 {
+		t.Errorf("owner 1 = %g, want 4", got)
+	}
+	if got := tr.Cumulative(2); got != 5 {
+		t.Errorf("owner 2 = %g, want 5 (delta only)", got)
+	}
+	tr.Assign(-1, 3) // out of range: ignored
+	tr.Assign(9, 3)
+}
+
+func TestEmptyTrackerTopOwner(t *testing.T) {
+	tr := NewOwnerTracker(2)
+	if owner, score := tr.TopOwner(); owner != -1 || score != 0 {
+		t.Errorf("TopOwner on empty = (%d, %g), want (-1, 0)", owner, score)
+	}
+}
+
+func TestMedianDetectorResistsRigging(t *testing.T) {
+	// Two of four threads attack in lockstep, keeping each attack score
+	// at ~1.5x the benign score. With the mean detector the pair drags
+	// the average up and evades detection (Expression 2 at f=0.5 allows
+	// 4.71x); the median detector catches them because the median stays
+	// at the benign level only until half the threads are aggressive —
+	// here exactly at the boundary, the median averages benign and
+	// attacker scores and still exposes a 1.5x gap at TH_outlier=0.2.
+	mean := New(Params{Window: 1 << 40, Threat: 32, Outlier: 0.2, POld: 1, PNew: 10, MSHRs: 64, Threads: 4})
+	med := New(Params{Window: 1 << 40, Threat: 32, Outlier: 0.2, POld: 1, PNew: 10, MSHRs: 64, Threads: 4,
+		Detector: DetectMedian})
+
+	feed := func(b *BreakHammer) {
+		for round := 0; round < 60; round++ {
+			// Attack threads 0,1: 3 actions each per round; benign 2,3: 2.
+			for i := 0; i < 3; i++ {
+				b.OnActivate(0)
+				b.OnPreventiveAction(0)
+				b.OnActivate(1)
+				b.OnPreventiveAction(0)
+			}
+			for i := 0; i < 2; i++ {
+				b.OnActivate(2)
+				b.OnPreventiveAction(0)
+				b.OnActivate(3)
+				b.OnPreventiveAction(0)
+			}
+		}
+	}
+	feed(mean)
+	feed(med)
+
+	if mean.IsSuspect(0) || mean.IsSuspect(1) {
+		t.Log("mean detector caught the rigging pair (stricter than Expression 2 bound)")
+	}
+	if !med.IsSuspect(0) || !med.IsSuspect(1) {
+		t.Errorf("median detector missed the rigging pair: scores %v %v vs median-based limit",
+			med.Score(0), med.Score(2))
+	}
+	if med.IsSuspect(2) || med.IsSuspect(3) {
+		t.Error("median detector false-positived a benign thread")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 9}, 5},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	// median must not mutate its input.
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("median mutated its input")
+	}
+}

@@ -1,0 +1,238 @@
+// Package cpu implements a trace-driven out-of-order core model in the
+// style of Ramulator 2.0's SimpleO3 core: a fixed-size instruction window,
+// in-order retire, loads that occupy a window slot until data returns, and
+// fire-and-forget stores. The model is clocked at the memory-controller
+// clock; the issue width is pre-scaled by the CPU/MC frequency ratio
+// (Table 1: 4.2 GHz 4-wide core over a 2.4 GHz DDR5 command bus → 7
+// instructions per memory cycle).
+package cpu
+
+// Config holds the core parameters.
+type Config struct {
+	WindowSize int // instruction window entries (Table 1: 128)
+	IssueWidth int // instructions per memory-controller cycle
+}
+
+// DefaultConfig returns the Table 1 core configuration scaled to the
+// memory-controller clock.
+func DefaultConfig() Config {
+	return Config{WindowSize: 128, IssueWidth: 7}
+}
+
+// Trace supplies a core's instruction stream. Next returns the number of
+// non-memory instructions preceding the next memory access, the accessed
+// cache-line address, and whether the access is a store. Traces are
+// infinite: cores replay them for as long as the simulation runs.
+type Trace interface {
+	Next() (bubbles int64, line uint64, write bool)
+}
+
+// ReadResult reports how the memory hierarchy accepted a load.
+type ReadResult struct {
+	OK      bool  // false: rejected (MSHR quota/full, queue full); retry
+	ReadyAt int64 // >= 0: data ready at this cycle (cache hit); -1: the callback fires later
+}
+
+// Memory is the core's port into the cache hierarchy.
+type Memory interface {
+	Read(line uint64, thread int, now int64, done func()) ReadResult
+	Write(line uint64, thread int, now int64) bool
+}
+
+// LoadQuota limits a thread's unresolved memory requests at the load/store
+// unit — the paper's §4.4 alternative throttling point for systems whose
+// memory-request serving unit lacks cache-miss buffers (DMA engines,
+// cacheless processors). BreakHammer implements this interface too.
+type LoadQuota interface {
+	MSHRQuota(thread int) int // maximum unresolved loads for the thread
+}
+
+type slot struct {
+	ready   bool
+	readyAt int64 // -1 when completion is callback-driven
+}
+
+func (s *slot) done(now int64) bool {
+	return s.ready || (s.readyAt >= 0 && now >= s.readyAt)
+}
+
+type memOp struct {
+	line  uint64
+	write bool
+}
+
+// Stats counts per-core events.
+type Stats struct {
+	Retired       int64
+	FinishedAt    int64 // cycle the retire target was reached; -1 if not yet
+	WindowStalls  int64 // cycles issue stopped because the window was full
+	BlockedStalls int64 // cycles issue stopped because memory rejected an access
+	Loads         int64
+	Stores        int64
+	QuotaStalls   int64 // cycles issue stopped by the LSU load quota (§4.4)
+}
+
+// Core is one hardware thread executing a trace.
+type Core struct {
+	id    int
+	cfg   Config
+	trace Trace
+	mem   Memory
+
+	window []*slot
+	head   int
+	count  int
+
+	bubbles int64
+	pending *memOp
+
+	quota       LoadQuota // optional LSU-level throttle (§4.4)
+	outstanding int       // unresolved (miss-backed) loads in flight
+
+	target int64
+	stats  Stats
+}
+
+// New builds a core with the given hardware-thread id and retire target
+// (the instruction count after which the core is "finished"; it keeps
+// executing to preserve memory contention, as in the paper's methodology).
+func New(id int, cfg Config, trace Trace, mem Memory, target int64) *Core {
+	c := &Core{id: id, cfg: cfg, trace: trace, mem: mem, target: target}
+	c.window = make([]*slot, cfg.WindowSize)
+	for i := range c.window {
+		c.window[i] = &slot{}
+	}
+	c.stats.FinishedAt = -1
+	return c
+}
+
+// ID returns the hardware-thread id.
+func (c *Core) ID() int { return c.id }
+
+// SetLoadQuota installs the §4.4 LSU-level throttle: the core stops
+// issuing new loads while its unresolved-load count is at or above the
+// quota. Cache hits resolve deterministically and are not counted —
+// matching the paper's semantics that a throttled thread may still access
+// data that is already cached.
+func (c *Core) SetLoadQuota(q LoadQuota) { c.quota = q }
+
+// Outstanding reports the unresolved (miss-backed) load count.
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// Stats returns the core's counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Finished reports whether the core reached its retire target.
+func (c *Core) Finished() bool { return c.stats.FinishedAt >= 0 }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() int64 { return c.stats.Retired }
+
+// IPC returns retired instructions per memory-controller cycle up to the
+// finish point (or up to now if unfinished).
+func (c *Core) IPC(now int64) float64 {
+	end := c.stats.FinishedAt
+	if end < 0 {
+		end = now
+	}
+	if end == 0 {
+		return 0
+	}
+	n := c.stats.Retired
+	if n > c.target {
+		n = c.target
+	}
+	return float64(n) / float64(end)
+}
+
+// Tick advances the core by one memory-controller cycle: retire from the
+// window head, then fetch/issue new instructions.
+func (c *Core) Tick(now int64) {
+	c.retire(now)
+	c.issue(now)
+}
+
+func (c *Core) retire(now int64) {
+	for n := 0; n < c.cfg.IssueWidth && c.count > 0; n++ {
+		s := c.window[c.head]
+		if !s.done(now) {
+			return
+		}
+		c.head = (c.head + 1) % len(c.window)
+		c.count--
+		c.stats.Retired++
+		if c.stats.FinishedAt < 0 && c.stats.Retired >= c.target {
+			c.stats.FinishedAt = now
+		}
+	}
+}
+
+func (c *Core) issue(now int64) {
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.bubbles == 0 && c.pending == nil {
+			b, line, wr := c.trace.Next()
+			c.bubbles = b
+			c.pending = &memOp{line: line, write: wr}
+		}
+		if c.bubbles > 0 {
+			if !c.push(now, 0) {
+				c.stats.WindowStalls++
+				return
+			}
+			c.bubbles--
+			continue
+		}
+		// Every instruction occupies a window slot; bail if full.
+		if c.count >= len(c.window) {
+			c.stats.WindowStalls++
+			return
+		}
+		op := c.pending
+		if op.write {
+			if !c.mem.Write(op.line, c.id, now) {
+				c.stats.BlockedStalls++
+				return
+			}
+			c.stats.Stores++
+			c.push(now, 0)
+			c.pending = nil
+			continue
+		}
+		// Load: enforce the §4.4 LSU quota, claim a window slot, then ask
+		// the cache.
+		if c.quota != nil && c.outstanding >= c.quota.MSHRQuota(c.id) {
+			c.stats.QuotaStalls++
+			return
+		}
+		tail := (c.head + c.count) % len(c.window)
+		s := c.window[tail]
+		s.ready, s.readyAt = false, -1
+		res := c.mem.Read(op.line, c.id, now, func() {
+			s.ready = true
+			c.outstanding--
+		})
+		if !res.OK {
+			c.stats.BlockedStalls++
+			return
+		}
+		if res.ReadyAt >= 0 {
+			s.readyAt = res.ReadyAt
+		} else {
+			c.outstanding++ // unresolved until the completion callback fires
+		}
+		c.count++
+		c.stats.Loads++
+		c.pending = nil
+	}
+}
+
+func (c *Core) push(now int64, _ int) bool {
+	if c.count >= len(c.window) {
+		return false
+	}
+	tail := (c.head + c.count) % len(c.window)
+	s := c.window[tail]
+	s.ready, s.readyAt = true, now
+	c.count++
+	return true
+}

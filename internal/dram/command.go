@@ -1,0 +1,43 @@
+package dram
+
+import "fmt"
+
+// Command identifies a DRAM command type.
+type Command int
+
+// DRAM command types understood by the device model.
+const (
+	CmdACT Command = iota // activate a row
+	CmdPRE                // precharge the open row
+	CmdRD                 // read one column burst
+	CmdWR                 // write one column burst
+	CmdREF                // all-bank auto refresh (rank level)
+	CmdRFM                // refresh management (bank level)
+	CmdVRR                // targeted victim-row refresh (bank blocked for tRC)
+	CmdMIG                // row migration (AQUA; bank blocked for the copy)
+	CmdAUX                // auxiliary metadata access (Hydra row-table traffic)
+	numCommands
+)
+
+var commandNames = [numCommands]string{
+	"ACT", "PRE", "RD", "WR", "REF", "RFM", "VRR", "MIG", "AUX",
+}
+
+// String returns the JEDEC-style mnemonic for the command.
+func (c Command) String() string {
+	if c < 0 || c >= numCommands {
+		return fmt.Sprintf("Command(%d)", int(c))
+	}
+	return commandNames[c]
+}
+
+// Addr locates the target of a command inside one channel.
+type Addr struct {
+	Bank int // global bank index (rank * banksPerRank + group * banksPerGroup + bank)
+	Row  int
+	Col  int
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("bank=%d row=%d col=%d", a.Bank, a.Row, a.Col)
+}

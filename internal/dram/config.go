@@ -1,0 +1,81 @@
+// Package dram implements a cycle-level DDR5 DRAM device model: topology,
+// per-command timing constraints, refresh, refresh management (RFM),
+// targeted victim-row refresh, row migration, and per-command energy
+// accounting.
+//
+// The model is clocked at the DRAM command-bus clock (one tick = one nCK).
+// It deliberately mirrors the level of detail of Ramulator 2.0's DDR5
+// device model: per-bank row-buffer state, rank-level tRRD/tFAW windows,
+// channel-level data-bus occupancy, and rank-level refresh.
+package dram
+
+// Config describes the DRAM topology of a single memory channel.
+// The defaults follow Table 1 of the BreakHammer paper: DDR5, 1 channel,
+// 2 ranks, 8 bank groups with 2 banks each, and 64K rows per bank.
+type Config struct {
+	Ranks         int // ranks per channel
+	BankGroups    int // bank groups per rank
+	BanksPerGroup int // banks per bank group
+	RowsPerBank   int // rows per bank
+	ColumnsPerRow int // cache-line-sized columns per row
+	LineBytes     int // bytes per column burst (cache line)
+}
+
+// Default returns the Table 1 configuration.
+func Default() Config {
+	return Config{
+		Ranks:         2,
+		BankGroups:    8,
+		BanksPerGroup: 2,
+		RowsPerBank:   1 << 16,
+		ColumnsPerRow: 128, // 8 KiB row / 64 B lines
+		LineBytes:     64,
+	}
+}
+
+// BanksPerRank returns the number of banks in one rank.
+func (c Config) BanksPerRank() int { return c.BankGroups * c.BanksPerGroup }
+
+// TotalBanks returns the number of banks in the channel.
+func (c Config) TotalBanks() int { return c.Ranks * c.BanksPerRank() }
+
+// RowBytes returns the size of one DRAM row in bytes.
+func (c Config) RowBytes() int { return c.ColumnsPerRow * c.LineBytes }
+
+// BankOf converts a global bank index into (rank, bank group, bank-in-group).
+func (c Config) BankOf(global int) (rank, group, bank int) {
+	perRank := c.BanksPerRank()
+	rank = global / perRank
+	rem := global % perRank
+	group = rem / c.BanksPerGroup
+	bank = rem % c.BanksPerGroup
+	return rank, group, bank
+}
+
+// GlobalBank converts (rank, bank group, bank-in-group) into a global index.
+func (c Config) GlobalBank(rank, group, bank int) int {
+	return rank*c.BanksPerRank() + group*c.BanksPerGroup + bank
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Ranks <= 0:
+		return errBadConfig("Ranks")
+	case c.BankGroups <= 0:
+		return errBadConfig("BankGroups")
+	case c.BanksPerGroup <= 0:
+		return errBadConfig("BanksPerGroup")
+	case c.RowsPerBank <= 0:
+		return errBadConfig("RowsPerBank")
+	case c.ColumnsPerRow <= 0:
+		return errBadConfig("ColumnsPerRow")
+	case c.LineBytes <= 0:
+		return errBadConfig("LineBytes")
+	}
+	return nil
+}
+
+type errBadConfig string
+
+func (e errBadConfig) Error() string { return "dram: non-positive config field " + string(e) }

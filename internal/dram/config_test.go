@@ -1,0 +1,176 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default config invalid: %v", err)
+	}
+	if got, want := c.Ranks, 2; got != want {
+		t.Errorf("Ranks = %d, want %d", got, want)
+	}
+	if got, want := c.BankGroups, 8; got != want {
+		t.Errorf("BankGroups = %d, want %d", got, want)
+	}
+	if got, want := c.BanksPerGroup, 2; got != want {
+		t.Errorf("BanksPerGroup = %d, want %d", got, want)
+	}
+	if got, want := c.TotalBanks(), 32; got != want {
+		t.Errorf("TotalBanks = %d, want %d (Table 1: 32 banks)", got, want)
+	}
+	if got, want := c.RowsPerBank, 65536; got != want {
+		t.Errorf("RowsPerBank = %d, want %d (Table 1: 64K rows/bank)", got, want)
+	}
+	if got, want := c.RowBytes(), 8192; got != want {
+		t.Errorf("RowBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBankOfGlobalBankRoundTrip(t *testing.T) {
+	c := Default()
+	for g := 0; g < c.TotalBanks(); g++ {
+		rank, group, bank := c.BankOf(g)
+		if got := c.GlobalBank(rank, group, bank); got != g {
+			t.Fatalf("round trip failed: bank %d -> (%d,%d,%d) -> %d", g, rank, group, bank, got)
+		}
+		if rank < 0 || rank >= c.Ranks {
+			t.Fatalf("bank %d: rank %d out of range", g, rank)
+		}
+		if group < 0 || group >= c.BankGroups {
+			t.Fatalf("bank %d: group %d out of range", g, group)
+		}
+		if bank < 0 || bank >= c.BanksPerGroup {
+			t.Fatalf("bank %d: bank-in-group %d out of range", g, bank)
+		}
+	}
+}
+
+func TestBankOfRoundTripProperty(t *testing.T) {
+	c := Default()
+	f := func(raw uint16) bool {
+		g := int(raw) % c.TotalBanks()
+		rank, group, bank := c.BankOf(g)
+		return c.GlobalBank(rank, group, bank) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidateRejectsZeroFields(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.BankGroups = 0 },
+		func(c *Config) { c.BanksPerGroup = -1 },
+		func(c *Config) { c.RowsPerBank = 0 },
+		func(c *Config) { c.ColumnsPerRow = 0 },
+		func(c *Config) { c.LineBytes = 0 },
+	}
+	for i, mut := range mutations {
+		c := Default()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted an invalid config", i)
+		}
+	}
+}
+
+func TestTimingDDR5Sane(t *testing.T) {
+	tm := DDR5()
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("DDR5 timing invalid: %v", err)
+	}
+	if tm.RC != tm.RAS+tm.RP {
+		t.Errorf("RC = %d, want RAS+RP = %d", tm.RC, tm.RAS+tm.RP)
+	}
+	if tm.RRDL < tm.RRDS {
+		t.Errorf("RRDL (%d) must be >= RRDS (%d)", tm.RRDL, tm.RRDS)
+	}
+	if tm.CCDL < tm.CCDS {
+		t.Errorf("CCDL (%d) must be >= CCDS (%d)", tm.CCDL, tm.CCDS)
+	}
+	// tREFW must be 32 ms at DDR5's normal temperature range (§2.1).
+	wantREFW := tm.NsToCycles(32e6)
+	if tm.REFW != wantREFW {
+		t.Errorf("REFW = %d cycles, want %d (32 ms)", tm.REFW, wantREFW)
+	}
+}
+
+func TestNsToCyclesRoundsUp(t *testing.T) {
+	tm := DDR5()
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{0, 0},
+		{tm.TCK, 1},
+		{tm.TCK * 1.5, 2},
+		{tm.TCK * 10, 10},
+	}
+	for _, c := range cases {
+		if got := tm.NsToCycles(c.ns); got != c.want {
+			t.Errorf("NsToCycles(%g) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestCyclesNsRoundTripProperty(t *testing.T) {
+	tm := DDR5()
+	f := func(raw uint32) bool {
+		cycles := int64(raw % 1_000_000)
+		ns := tm.CyclesToNs(cycles)
+		return tm.NsToCycles(ns) == cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	cases := map[Command]string{
+		CmdACT: "ACT", CmdPRE: "PRE", CmdRD: "RD", CmdWR: "WR",
+		CmdREF: "REF", CmdRFM: "RFM", CmdVRR: "VRR", CmdMIG: "MIG",
+	}
+	for cmd, want := range cases {
+		if got := cmd.String(); got != want {
+			t.Errorf("Command(%d).String() = %q, want %q", int(cmd), got, want)
+		}
+	}
+	if got := Command(99).String(); got != "Command(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestTimingDDR4Sane(t *testing.T) {
+	tm := DDR4()
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("DDR4 timing invalid: %v", err)
+	}
+	// §2.1: DDR4 refresh window is 64 ms, interval 7.8 us.
+	if got, want := tm.REFW, tm.NsToCycles(64e6); got != want {
+		t.Errorf("DDR4 REFW = %d, want 64 ms = %d", got, want)
+	}
+	if got, want := tm.REFI, int64(12_480); got != want {
+		t.Errorf("DDR4 REFI = %d cycles, want %d (7.8 us)", got, want)
+	}
+	// The paper's §6 check: tRRD is 2.5 ns in DDR4.
+	if ns := tm.CyclesToNs(tm.RRDS); ns != 2.5 {
+		t.Errorf("DDR4 tRRD_S = %g ns, want 2.5", ns)
+	}
+}
+
+func TestDDR4DeviceWorks(t *testing.T) {
+	d, err := NewDevice(Default(), DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Issue(CmdACT, Addr{Bank: 0, Row: 1}, 0)
+	tm := d.Timing()
+	if !d.CanIssue(CmdRD, Addr{Bank: 0, Row: 1}, tm.RCD) {
+		t.Error("DDR4 RD illegal at tRCD")
+	}
+}

@@ -1,0 +1,400 @@
+package dram
+
+import "fmt"
+
+// neverIssued marks a timestamp "long ago" so that all constraints measured
+// against it are trivially satisfied at cycle 0.
+const neverIssued = int64(-1 << 40)
+
+// bankState tracks the row buffer and timing history of one bank.
+type bankState struct {
+	openRow   int  // -1 when precharged
+	hasOpen   bool // row buffer valid
+	actAt     int64
+	preReady  int64 // earliest cycle an ACT may issue (after tRP / RFM / VRR)
+	lastRD    int64
+	lastWRend int64 // cycle when the last write burst finished on the data bus
+	blocked   int64 // bank unavailable until this cycle (RFM/VRR/MIG/REF)
+}
+
+// rankState tracks rank-level constraints (tRRD, tFAW, refresh).
+type rankState struct {
+	lastACT      int64
+	lastACTGroup int // bank group of the most recent ACT
+	actWindow    [4]int64
+	actWindowIdx int
+	refUntil     int64 // rank blocked by REF until this cycle
+}
+
+// Device is a cycle-level model of all DRAM chips behind one channel.
+// It validates command timing, tracks row-buffer state, and accumulates
+// energy. The Device does not schedule: the memory controller decides what
+// to issue and when; the Device answers "is this legal now?".
+type Device struct {
+	cfg    Config
+	timing Timing
+
+	banks []bankState
+	ranks []rankState
+
+	// Per-bank decode lookup tables (avoid div/mod on the hot path).
+	rankOf  []int
+	groupOf []int
+	keyOf   []int // channel-unique bank-group key
+
+	// Channel-level data-bus occupancy and command-group history.
+	busFreeAt   int64
+	lastRD      int64 // most recent RD command cycle on the channel
+	lastRDGroup int   // rank*groups+group key of that RD
+	lastWR      int64
+	lastWRGroup int
+	lastWRend   int64 // channel-wide write-data end (for tWTR)
+
+	energy EnergyCounter
+
+	// issueHook, when set, observes every issued command. It exists for
+	// auditing (independent re-verification of timing invariants over a
+	// whole simulation) and characterisation; it is nil in normal runs.
+	issueHook func(cmd Command, addr Addr, now int64)
+}
+
+// SetIssueHook installs an observer of every issued command.
+func (d *Device) SetIssueHook(h func(cmd Command, addr Addr, now int64)) { d.issueHook = h }
+
+// NewDevice constructs a Device with the given topology and timing.
+func NewDevice(cfg Config, timing Timing) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg, timing: timing}
+	d.banks = make([]bankState, cfg.TotalBanks())
+	d.ranks = make([]rankState, cfg.Ranks)
+	d.rankOf = make([]int, cfg.TotalBanks())
+	d.groupOf = make([]int, cfg.TotalBanks())
+	d.keyOf = make([]int, cfg.TotalBanks())
+	for b := 0; b < cfg.TotalBanks(); b++ {
+		rank, group, _ := cfg.BankOf(b)
+		d.rankOf[b] = rank
+		d.groupOf[b] = group
+		d.keyOf[b] = rank*cfg.BankGroups + group
+	}
+	for i := range d.banks {
+		d.banks[i] = bankState{
+			openRow:   -1,
+			actAt:     neverIssued,
+			preReady:  0,
+			lastRD:    neverIssued,
+			lastWRend: neverIssued,
+			blocked:   neverIssued,
+		}
+	}
+	for i := range d.ranks {
+		d.ranks[i] = rankState{
+			lastACT:      neverIssued,
+			lastACTGroup: -1,
+			refUntil:     neverIssued,
+		}
+		for j := range d.ranks[i].actWindow {
+			d.ranks[i].actWindow[j] = neverIssued
+		}
+	}
+	d.busFreeAt = 0
+	d.lastRD, d.lastWR, d.lastWRend = neverIssued, neverIssued, neverIssued
+	return d, nil
+}
+
+// Config returns the device topology.
+func (d *Device) Config() Config { return d.cfg }
+
+// Timing returns the device timing constraints.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Energy returns the accumulated energy counters.
+func (d *Device) Energy() *EnergyCounter { return &d.energy }
+
+// OpenRow reports the currently open row in a bank, or (0, false) if the
+// bank is precharged.
+func (d *Device) OpenRow(bank int) (int, bool) {
+	b := &d.banks[bank]
+	if !b.hasOpen {
+		return 0, false
+	}
+	return b.openRow, true
+}
+
+// groupKey builds a channel-unique bank-group identifier.
+func (d *Device) groupKey(bank int) int { return d.keyOf[bank] }
+
+// RankOf returns the rank of a global bank index (lookup, no division).
+func (d *Device) RankOf(bank int) int { return d.rankOf[bank] }
+
+// CanIssue reports whether cmd to addr satisfies every timing constraint at
+// cycle now.
+func (d *Device) CanIssue(cmd Command, addr Addr, now int64) bool {
+	if addr.Bank < 0 || addr.Bank >= len(d.banks) {
+		return false
+	}
+	b := &d.banks[addr.Bank]
+	rank := d.rankOf[addr.Bank]
+	r := &d.ranks[rank]
+	t := &d.timing
+
+	if now < r.refUntil || now < b.blocked {
+		// Rank under refresh or bank blocked by RFM/VRR/MIG: only nothing
+		// may issue (the blocking command already owns the bank).
+		return false
+	}
+
+	switch cmd {
+	case CmdACT:
+		if b.hasOpen {
+			return false
+		}
+		if now < b.preReady {
+			return false
+		}
+		// tRRD same/different bank group.
+		if r.lastACT != neverIssued {
+			group := d.groupOf[addr.Bank]
+			gap := t.RRDS
+			if group == r.lastACTGroup {
+				gap = t.RRDL
+			}
+			if now < r.lastACT+gap {
+				return false
+			}
+		}
+		// tFAW: at most 4 ACTs per rank per window.
+		oldest := r.actWindow[r.actWindowIdx]
+		if oldest != neverIssued && now < oldest+t.FAW {
+			return false
+		}
+		return true
+
+	case CmdPRE:
+		if !b.hasOpen {
+			return true // PRE to a precharged bank is a harmless no-op; allow.
+		}
+		if now < b.actAt+t.RAS {
+			return false
+		}
+		if b.lastRD != neverIssued && now < b.lastRD+t.RTP {
+			return false
+		}
+		if b.lastWRend != neverIssued && now < b.lastWRend+t.WR {
+			return false
+		}
+		return true
+
+	case CmdRD:
+		if !b.hasOpen || b.openRow != addr.Row {
+			return false
+		}
+		if now < b.actAt+t.RCD {
+			return false
+		}
+		if !d.columnGapOK(now, addr.Bank, false) {
+			return false
+		}
+		return now+t.CL >= d.busFreeAt
+
+	case CmdWR:
+		if !b.hasOpen || b.openRow != addr.Row {
+			return false
+		}
+		if now < b.actAt+t.RCD {
+			return false
+		}
+		if !d.columnGapOK(now, addr.Bank, true) {
+			return false
+		}
+		return now+t.CWL >= d.busFreeAt
+
+	case CmdREF:
+		// All banks in the rank must be precharged and idle.
+		base := rank * d.cfg.BanksPerRank()
+		for i := base; i < base+d.cfg.BanksPerRank(); i++ {
+			bb := &d.banks[i]
+			if bb.hasOpen || now < bb.preReady || now < bb.blocked {
+				return false
+			}
+		}
+		return true
+
+	case CmdRFM, CmdVRR, CmdAUX:
+		return !b.hasOpen && now >= b.preReady
+
+	case CmdMIG:
+		return !b.hasOpen && now >= b.preReady
+
+	default:
+		return false
+	}
+}
+
+// columnGapOK checks CCD (same-command) and turnaround (RD<->WR, WR->RD)
+// constraints for a column command at cycle now.
+func (d *Device) columnGapOK(now int64, bank int, isWrite bool) bool {
+	t := &d.timing
+	key := d.groupKey(bank)
+	if isWrite {
+		if d.lastWR != neverIssued {
+			gap := t.CCDS
+			if key == d.lastWRGroup {
+				gap = t.CCDL
+			}
+			if now < d.lastWR+gap {
+				return false
+			}
+		}
+		if d.lastRD != neverIssued && now < d.lastRD+t.RTW {
+			return false
+		}
+		return true
+	}
+	if d.lastRD != neverIssued {
+		gap := t.CCDS
+		if key == d.lastRDGroup {
+			gap = t.CCDL
+		}
+		if now < d.lastRD+gap {
+			return false
+		}
+	}
+	if d.lastWRend != neverIssued {
+		gap := t.WTRS
+		if key == d.lastWRGroup {
+			gap = t.WTRL
+		}
+		if now < d.lastWRend+gap {
+			return false
+		}
+	}
+	return true
+}
+
+// IssueResult reports side effects of a command issue.
+type IssueResult struct {
+	DataAt int64 // cycle the data burst completes (RD/WR), 0 otherwise
+	DoneAt int64 // cycle the command's blocking effect ends
+}
+
+// Issue applies cmd to the device state. The caller must have validated the
+// command with CanIssue; Issue panics on an illegal command to surface
+// scheduler bugs immediately.
+func (d *Device) Issue(cmd Command, addr Addr, now int64) IssueResult {
+	if !d.CanIssue(cmd, addr, now) {
+		panic(fmt.Sprintf("dram: illegal %v to %v at cycle %d", cmd, addr, now))
+	}
+	if d.issueHook != nil {
+		d.issueHook(cmd, addr, now)
+	}
+	b := &d.banks[addr.Bank]
+	rank := d.rankOf[addr.Bank]
+	r := &d.ranks[rank]
+	t := &d.timing
+
+	switch cmd {
+	case CmdACT:
+		b.hasOpen = true
+		b.openRow = addr.Row
+		b.actAt = now
+		b.lastRD = neverIssued
+		b.lastWRend = neverIssued
+		r.lastACT = now
+		r.lastACTGroup = d.groupOf[addr.Bank]
+		r.actWindow[r.actWindowIdx] = now
+		r.actWindowIdx = (r.actWindowIdx + 1) % len(r.actWindow)
+		d.energy.Add(CmdACT, 1)
+		return IssueResult{DoneAt: now + t.RCD}
+
+	case CmdPRE:
+		if b.hasOpen {
+			d.energy.Add(CmdPRE, 1)
+		}
+		b.hasOpen = false
+		b.openRow = -1
+		b.preReady = now + t.RP
+		return IssueResult{DoneAt: now + t.RP}
+
+	case CmdRD:
+		b.lastRD = now
+		d.lastRD = now
+		d.lastRDGroup = d.groupKey(addr.Bank)
+		dataEnd := now + t.CL + t.BL
+		d.busFreeAt = dataEnd
+		d.energy.Add(CmdRD, 1)
+		return IssueResult{DataAt: dataEnd, DoneAt: dataEnd}
+
+	case CmdWR:
+		dataEnd := now + t.CWL + t.BL
+		b.lastWRend = dataEnd
+		d.lastWR = now
+		d.lastWRGroup = d.groupKey(addr.Bank)
+		d.lastWRend = dataEnd
+		d.busFreeAt = dataEnd
+		d.energy.Add(CmdWR, 1)
+		return IssueResult{DataAt: dataEnd, DoneAt: dataEnd}
+
+	case CmdREF:
+		until := now + t.RFC
+		r.refUntil = until
+		base := rank * d.cfg.BanksPerRank()
+		for i := base; i < base+d.cfg.BanksPerRank(); i++ {
+			d.banks[i].preReady = until
+		}
+		d.energy.Add(CmdREF, 1)
+		return IssueResult{DoneAt: until}
+
+	case CmdRFM:
+		until := now + t.RFM
+		b.blocked = until
+		b.preReady = until
+		d.energy.Add(CmdRFM, 1)
+		return IssueResult{DoneAt: until}
+
+	case CmdVRR:
+		// A targeted refresh internally activates and precharges the victim
+		// row: the bank is busy for a full row cycle.
+		until := now + t.RC
+		b.blocked = until
+		b.preReady = until
+		d.energy.Add(CmdVRR, 1)
+		return IssueResult{DoneAt: until}
+
+	case CmdAUX:
+		// A metadata access (e.g. Hydra's in-DRAM row-count table) costs a
+		// full row cycle on the bank: ACT + burst + PRE.
+		until := now + t.RC
+		b.blocked = until
+		b.preReady = until
+		d.energy.Add(CmdAUX, 1)
+		return IssueResult{DoneAt: until}
+
+	case CmdMIG:
+		// Row migration copies a full row through the internal datapath:
+		// ACT + column stream + PRE on both source and destination. We model
+		// it as one blocking interval covering two row cycles plus the
+		// column transfer time.
+		cols := int64(d.cfg.ColumnsPerRow)
+		until := now + 2*t.RC + cols*t.CCDL
+		b.blocked = until
+		b.preReady = until
+		d.energy.Add(CmdMIG, 1)
+		return IssueResult{DoneAt: until}
+	}
+	panic("dram: unhandled command " + cmd.String())
+}
+
+// BankBlockedUntil reports when a bank becomes available again (the later of
+// refresh, RFM/VRR/MIG blocking, and precharge recovery).
+func (d *Device) BankBlockedUntil(bank int) int64 {
+	until := d.banks[bank].blocked
+	if r := d.ranks[d.rankOf[bank]].refUntil; r > until {
+		until = r
+	}
+	return until
+}

@@ -1,0 +1,61 @@
+package dram
+
+// Per-command energy constants in nanojoules, plus background power in
+// watts. These are synthetic DDR5-class constants (documented substitution
+// for DRAMPower in DESIGN.md): Figure 12 depends on how command *counts*
+// scale across mechanisms and RowHammer thresholds, which a per-command
+// model reproduces; absolute Joules are not a reproduction target.
+const (
+	EnergyACT  = 1.2  // nJ per activate (includes restore)
+	EnergyPRE  = 0.8  // nJ per precharge
+	EnergyRD   = 1.5  // nJ per read burst
+	EnergyWR   = 1.6  // nJ per write burst
+	EnergyREF  = 30.0 // nJ per all-bank refresh
+	EnergyRFM  = 15.0 // nJ per refresh-management command
+	EnergyVRR  = 2.0  // nJ per targeted victim-row refresh (ACT+PRE pair)
+	EnergyMIG  = 24.0 // nJ per row migration (full-row copy)
+	EnergyAUX  = 3.5  // nJ per metadata row access (ACT+RD+PRE)
+	PowerBkgnd = 0.08 // W background power per rank
+)
+
+// EnergyCounter accumulates per-command counts for energy reporting.
+type EnergyCounter struct {
+	counts [numCommands]int64
+}
+
+// Add records n issued commands of the given type.
+func (e *EnergyCounter) Add(cmd Command, n int64) {
+	if cmd >= 0 && cmd < numCommands {
+		e.counts[cmd] += n
+	}
+}
+
+// Count returns how many commands of the given type were issued.
+func (e *EnergyCounter) Count(cmd Command) int64 {
+	if cmd < 0 || cmd >= numCommands {
+		return 0
+	}
+	return e.counts[cmd]
+}
+
+// Reset clears all counters.
+func (e *EnergyCounter) Reset() { e.counts = [numCommands]int64{} }
+
+// DynamicNJ returns the total dynamic energy in nanojoules.
+func (e *EnergyCounter) DynamicNJ() float64 {
+	return float64(e.counts[CmdACT])*EnergyACT +
+		float64(e.counts[CmdPRE])*EnergyPRE +
+		float64(e.counts[CmdRD])*EnergyRD +
+		float64(e.counts[CmdWR])*EnergyWR +
+		float64(e.counts[CmdREF])*EnergyREF +
+		float64(e.counts[CmdRFM])*EnergyRFM +
+		float64(e.counts[CmdVRR])*EnergyVRR +
+		float64(e.counts[CmdMIG])*EnergyMIG +
+		float64(e.counts[CmdAUX])*EnergyAUX
+}
+
+// TotalNJ returns dynamic plus background energy for a simulation of the
+// given duration (in nanoseconds) over the given number of ranks.
+func (e *EnergyCounter) TotalNJ(durationNs float64, ranks int) float64 {
+	return e.DynamicNJ() + PowerBkgnd*float64(ranks)*durationNs
+}

@@ -1,0 +1,141 @@
+package dram
+
+// Timing holds DDR timing constraints in command-bus clock cycles (nCK).
+// The defaults approximate DDR5-4800 (tCK ≈ 0.4167 ns).
+type Timing struct {
+	TCK float64 // nanoseconds per cycle
+
+	RCD  int64 // ACT -> RD/WR, same bank
+	RP   int64 // PRE -> ACT, same bank
+	RAS  int64 // ACT -> PRE, same bank
+	RC   int64 // ACT -> ACT, same bank (RAS+RP)
+	RRDL int64 // ACT -> ACT, same bank group
+	RRDS int64 // ACT -> ACT, different bank group
+	FAW  int64 // window for 4 ACTs per rank
+	CCDL int64 // RD->RD / WR->WR, same bank group
+	CCDS int64 // RD->RD / WR->WR, different bank group
+	WTRL int64 // WR data end -> RD, same bank group
+	WTRS int64 // WR data end -> RD, different bank group
+	RTP  int64 // RD -> PRE, same bank
+	WR   int64 // WR data end -> PRE, same bank
+	CL   int64 // RD -> data
+	CWL  int64 // WR -> data
+	BL   int64 // burst length on the data bus (nCK)
+	RTW  int64 // RD -> WR gap (derived bus turnaround)
+
+	RFC   int64 // REF -> any, same rank (all-bank refresh)
+	REFI  int64 // refresh interval
+	RFM   int64 // RFM blocking time, per bank
+	REFW  int64 // refresh window (tREFW)
+	RFCsb int64 // same-bank refresh (unused by default path, kept for RFM variants)
+}
+
+// DDR5 returns timing constraints approximating a DDR5-4800 device.
+func DDR5() Timing {
+	t := Timing{
+		TCK:  1.0 / 2.4, // 2400 MHz command clock
+		RCD:  39,
+		RP:   39,
+		RAS:  77,
+		RRDL: 12,
+		RRDS: 8,
+		FAW:  32,
+		CCDL: 12,
+		CCDS: 8,
+		WTRL: 24,
+		WTRS: 6,
+		RTP:  18,
+		WR:   72,
+		CL:   40,
+		CWL:  38,
+		BL:   8,
+
+		RFC:   984,  // ~410 ns (16 Gb device)
+		REFI:  9360, // 3.9 us
+		RFM:   456,  // ~190 ns
+		RFCsb: 456,
+	}
+	t.RC = t.RAS + t.RP
+	t.RTW = t.CL + t.BL + 2 - t.CWL
+	if t.REFW == 0 {
+		t.REFW = t.NsToCycles(32e6) // 32 ms
+	}
+	return t
+}
+
+// DDR4 returns timing constraints approximating a DDR4-3200 device
+// (tREFW = 64 ms, tREFI = 7.8 µs per JESD79-4C; §2.1). Useful for
+// studying the mechanisms on the previous-generation standard the paper
+// repeatedly references for tRRD and refresh parameters.
+func DDR4() Timing {
+	t := Timing{
+		TCK:  0.625, // 1600 MHz command clock
+		RCD:  22,
+		RP:   22,
+		RAS:  52,
+		RRDL: 8,
+		RRDS: 4,
+		FAW:  24,
+		CCDL: 8,
+		CCDS: 4,
+		WTRL: 12,
+		WTRS: 4,
+		RTP:  12,
+		WR:   24,
+		CL:   22,
+		CWL:  16,
+		BL:   4,
+
+		RFC:   560,    // 350 ns (16 Gb device)
+		REFI:  12_480, // 7.8 us
+		RFM:   280,
+		RFCsb: 280,
+	}
+	t.RC = t.RAS + t.RP
+	t.RTW = t.CL + t.BL + 2 - t.CWL
+	t.REFW = t.NsToCycles(64e6) // 64 ms
+	return t
+}
+
+// NsToCycles converts nanoseconds to command-bus cycles, rounding up.
+// A small relative tolerance absorbs float error so that a duration that is
+// an exact multiple of tCK maps back to the same cycle count.
+func (t Timing) NsToCycles(ns float64) int64 {
+	c := ns / t.TCK
+	eps := 1e-9 * (c + 1)
+	ic := int64(c + eps)
+	if float64(ic)+eps < c {
+		ic++
+	}
+	return ic
+}
+
+// CyclesToNs converts command-bus cycles to nanoseconds.
+func (t Timing) CyclesToNs(cycles int64) float64 { return float64(cycles) * t.TCK }
+
+// Validate reports whether all constraints are positive and consistent.
+func (t Timing) Validate() error {
+	if t.TCK <= 0 {
+		return errBadTiming("TCK")
+	}
+	fields := map[string]int64{
+		"RCD": t.RCD, "RP": t.RP, "RAS": t.RAS, "RC": t.RC,
+		"RRDL": t.RRDL, "RRDS": t.RRDS, "FAW": t.FAW,
+		"CCDL": t.CCDL, "CCDS": t.CCDS, "WTRL": t.WTRL, "WTRS": t.WTRS,
+		"RTP": t.RTP, "WR": t.WR, "CL": t.CL, "CWL": t.CWL, "BL": t.BL,
+		"RFC": t.RFC, "REFI": t.REFI, "RFM": t.RFM, "REFW": t.REFW,
+	}
+	for name, v := range fields {
+		if v <= 0 {
+			return errBadTiming(name)
+		}
+	}
+	if t.RC < t.RAS+t.RP {
+		return errBadTiming("RC < RAS+RP")
+	}
+	return nil
+}
+
+type errBadTiming string
+
+func (e errBadTiming) Error() string { return "dram: invalid timing constraint " + string(e) }

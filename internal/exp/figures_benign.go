@@ -1,0 +1,118 @@
+package exp
+
+import "fmt"
+
+// Figure2 — the motivation experiment (§3): system performance of
+// RowHammer mitigation mechanisms on all-benign workloads, normalized to
+// a baseline with no mitigation, as N_RH decreases. The paper's reading:
+// all mechanisms degrade as N_RH shrinks; Hydra degrades least, AQUA and
+// PARA most.
+func (r *Runner) Figure2() (Table, error) {
+	t := Table{
+		Title: "Figure 2: mitigation overhead on benign workloads vs N_RH (no attacker)",
+		Note:  "weighted speedup normalized to no-mitigation baseline; lower = more overhead",
+	}
+	t.Header = []string{"NRH"}
+	t.Header = append(t.Header, r.opts.Fig2Mechs...)
+	base, err := r.baseline(false)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, nrh := range r.opts.NRHs {
+		row := []string{fmt.Sprint(nrh)}
+		for _, mech := range r.opts.Fig2Mechs {
+			rs, err := r.results(mech, nrh, false, false)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f3(ratioGeomean(rs, base, wsOf)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure13 — BreakHammer's impact on weighted speedup per mix group with
+// no attacker, at the lowest N_RH. The paper's reading: ratios cluster at
+// 1.0 (+0.7% average).
+func (r *Runner) Figure13() (Table, error) {
+	return r.mixGroupRatioFigure(
+		"Figure 13: normalized weighted speedup (no attacker)",
+		fmt.Sprintf("mech+BH / mech, N_RH=%d; ≈1 means BreakHammer is harmless", r.opts.minNRH()),
+		r.opts.minNRH(), false, wsOf)
+}
+
+// Figure14 — BreakHammer's impact on unfairness with no attacker at the
+// mid N_RH (paper: +0.9% average, i.e. ≈1.0).
+func (r *Runner) Figure14() (Table, error) {
+	return r.mixGroupRatioFigure(
+		"Figure 14: normalized unfairness (no attacker)",
+		fmt.Sprintf("mech+BH / mech, N_RH=%d", r.opts.midNRH()),
+		r.opts.midNRH(), false, unfairnessOf)
+}
+
+// Figure15 — weighted speedup of mech+BH normalized to the bare mechanism
+// on all-benign workloads as N_RH decreases.
+func (r *Runner) Figure15() (Table, error) {
+	t := Table{
+		Title: "Figure 15: weighted speedup of mech+BH vs bare mech (no attacker) by N_RH",
+		Note:  "≈1 everywhere means BreakHammer never hurts benign-only workloads",
+	}
+	t.Header = []string{"NRH"}
+	for _, mech := range r.opts.Mechanisms {
+		t.Header = append(t.Header, mech+"+BH")
+	}
+	for _, nrh := range r.opts.NRHs {
+		row := []string{fmt.Sprint(nrh)}
+		for _, mech := range r.opts.Mechanisms {
+			base, err := r.results(mech, nrh, false, false)
+			if err != nil {
+				return Table{}, err
+			}
+			with, err := r.results(mech, nrh, true, false)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f3(ratioGeomean(with, base, wsOf)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure16 — unfairness of mech+BH normalized to the bare mechanism on
+// all-benign workloads as N_RH decreases.
+func (r *Runner) Figure16() (Table, error) {
+	t := Table{
+		Title: "Figure 16: unfairness of mech+BH vs bare mech (no attacker) by N_RH",
+		Note:  "paper: +0.9% average; small deviations in both directions",
+	}
+	t.Header = []string{"NRH"}
+	for _, mech := range r.opts.Mechanisms {
+		t.Header = append(t.Header, mech+"+BH")
+	}
+	for _, nrh := range r.opts.NRHs {
+		row := []string{fmt.Sprint(nrh)}
+		for _, mech := range r.opts.Mechanisms {
+			base, err := r.results(mech, nrh, false, false)
+			if err != nil {
+				return Table{}, err
+			}
+			with, err := r.results(mech, nrh, true, false)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f3(ratioGeomean(with, base, unfairnessOf)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure17 — memory-latency percentiles with no attacker at the lowest
+// N_RH (paper: BreakHammer induces no latency overhead).
+func (r *Runner) Figure17() (Table, error) {
+	return r.latencyFigure(
+		"Figure 17: benign memory latency percentiles (ns), no attacker",
+		false)
+}

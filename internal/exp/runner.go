@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"breakhammer/internal/sim"
+	"breakhammer/internal/stats"
+	"breakhammer/internal/workload"
+)
+
+// Options scales the experiment harness. The paper-scale values (90
+// workloads per point, 100M instructions, seven N_RH values) take cluster
+// days; the defaults reproduce every figure's shape in minutes.
+type Options struct {
+	Base          sim.Config // base system configuration
+	MixesPerGroup int        // workload mixes per group (paper: 15)
+	NRHs          []int      // RowHammer threshold sweep, descending (paper: 4K..64)
+	Mechanisms    []string   // mechanisms for ±BreakHammer comparisons
+	Fig2Mechs     []string   // the four motivation mechanisms of Fig. 2
+	Percentiles   []float64  // latency percentiles for Figs. 11/17
+	THthreats     []float64  // TH_threat sweep for Fig. 19
+}
+
+// DefaultOptions returns the scaled-down harness configuration.
+func DefaultOptions() Options {
+	return Options{
+		Base:          sim.FastConfig(),
+		MixesPerGroup: 1,
+		NRHs:          []int{4096, 1024, 256, 64},
+		Mechanisms:    []string{"para", "graphene", "hydra", "twice", "aqua", "rega", "rfm", "prac"},
+		Fig2Mechs:     []string{"hydra", "rfm", "para", "aqua"},
+		Percentiles:   []float64{50, 90, 99, 99.9},
+		THthreats:     []float64{32, 512, 4096},
+	}
+}
+
+// QuickOptions returns a minimal configuration for smoke tests and
+// benchmarks: two thresholds, four mechanisms, short runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Base.TargetInsts = 150_000
+	o.Base.BHWindow = 250_000
+	o.NRHs = []int{1024, 256}
+	o.Mechanisms = []string{"para", "graphene", "hydra", "rfm"}
+	o.Fig2Mechs = []string{"hydra", "rfm", "para", "graphene"}
+	return o
+}
+
+// minNRH returns the smallest (most vulnerable) threshold in the sweep.
+func (o Options) minNRH() int {
+	m := o.NRHs[0]
+	for _, v := range o.NRHs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// maxNRH returns the largest threshold in the sweep.
+func (o Options) maxNRH() int {
+	m := o.NRHs[0]
+	for _, v := range o.NRHs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// midNRH returns the threshold closest to the paper's 1K operating point.
+func (o Options) midNRH() int {
+	best := o.NRHs[0]
+	for _, v := range o.NRHs {
+		d := v - 1024
+		if d < 0 {
+			d = -d
+		}
+		b := best - 1024
+		if b < 0 {
+			b = -b
+		}
+		if d < b {
+			best = v
+		}
+	}
+	return best
+}
+
+// Runner executes and memoizes simulations shared across figures (e.g.
+// Figs. 8, 9, 10 and 12 all read the same attacker sweep).
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string][]sim.MixResult
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string][]sim.MixResult)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+func (r *Runner) mixes(attack bool) []workload.Mix {
+	if attack {
+		return workload.AttackMixes(r.opts.MixesPerGroup)
+	}
+	return workload.BenignMixes(r.opts.MixesPerGroup)
+}
+
+// results runs (or recalls) one configuration point across all mixes of a
+// family.
+func (r *Runner) results(mech string, nrh int, bh, attack bool) ([]sim.MixResult, error) {
+	key := fmt.Sprintf("%s|%d|%v|%v", mech, nrh, bh, attack)
+	r.mu.Lock()
+	cached, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	cfg := r.opts.Base
+	cfg.Mechanism = mech
+	cfg.NRH = nrh
+	cfg.BreakHammer = bh
+	rs, err := sim.RunMixes(cfg, r.mixes(attack))
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s NRH=%d bh=%v attack=%v: %w", mech, nrh, bh, attack, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = rs
+	r.mu.Unlock()
+	return rs, nil
+}
+
+// baseline returns the no-mitigation runs for a mix family. N_RH is
+// irrelevant without a mechanism, so one set serves every sweep point.
+func (r *Runner) baseline(attack bool) ([]sim.MixResult, error) {
+	return r.results("none", 1024, false, attack)
+}
+
+// ratioGeomean returns the geometric mean over mixes of metric(with)/
+// metric(base).
+func ratioGeomean(with, base []sim.MixResult, metric func(sim.MixResult) float64) float64 {
+	var ratios []float64
+	for i := range with {
+		b := metric(base[i])
+		if b == 0 {
+			continue
+		}
+		ratios = append(ratios, metric(with[i])/b)
+	}
+	return geoMean(ratios)
+}
+
+// groupRatioGeomean splits mixes by group name (prefix before '-') and
+// returns per-group geomeans plus the overall geomean, in group order.
+func groupRatioGeomean(with, base []sim.MixResult, metric func(sim.MixResult) float64) (groups []string, values []float64, overall float64) {
+	order := []string{}
+	byGroup := map[string][]float64{}
+	var all []float64
+	for i := range with {
+		g := groupOf(with[i].MixName)
+		b := metric(base[i])
+		if b == 0 {
+			continue
+		}
+		v := metric(with[i]) / b
+		if _, seen := byGroup[g]; !seen {
+			order = append(order, g)
+		}
+		byGroup[g] = append(byGroup[g], v)
+		all = append(all, v)
+	}
+	for _, g := range order {
+		groups = append(groups, g)
+		values = append(values, geoMean(byGroup[g]))
+	}
+	return groups, values, geoMean(all)
+}
+
+func groupOf(mixName string) string {
+	for i := 0; i < len(mixName); i++ {
+		if mixName[i] == '-' {
+			return mixName[:i]
+		}
+	}
+	return mixName
+}
+
+func geoMean(xs []float64) float64 { return stats.GeoMean(xs) }

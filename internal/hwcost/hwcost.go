@@ -1,0 +1,60 @@
+// Package hwcost reproduces the hardware-complexity arithmetic of §6:
+// BreakHammer's per-thread storage inventory, the resulting area at a
+// 65 nm process, the fraction of a high-end Xeon processor's chip area,
+// and the pipeline latency claim checked against DDR4/DDR5 tRRD.
+package hwcost
+
+// Per-thread storage inventory (§6, Area Analysis): two 32-bit
+// RowHammer-preventive score counters (one per time-interleaved set), one
+// 16-bit activation counter, and two 1-bit suspect flags.
+const (
+	ScoreCounterBits  = 32
+	ScoreCounterCount = 2
+	ActivationBits    = 16
+	SuspectFlagBits   = 1
+	SuspectFlagCount  = 2
+	BitsPerThread     = ScoreCounterCount*ScoreCounterBits + ActivationBits + SuspectFlagCount*SuspectFlagBits
+)
+
+// Area model constants, calibrated to §6's numbers: 0.000105 mm² per
+// memory channel for a 4-hardware-thread system at 65 nm.
+const (
+	paperAreaPerChannelMM2 = 0.000105
+	paperThreadsPerChannel = 4
+	// AreaPerBitMM2 is the implied 65 nm register area per storage bit.
+	AreaPerBitMM2 = paperAreaPerChannelMM2 / (paperThreadsPerChannel * BitsPerThread)
+)
+
+// Latency model (§6, Latency Analysis).
+const (
+	PipelineStages = 8
+	ClockGHz       = 1.5
+	LatencyNs      = 1.0 / ClockGHz // ≈ 0.67 ns per decision
+	TRRDDDR4Ns     = 2.5
+	TRRDDDR5Ns     = 5.0
+	// XeonAreaMM2 is the reference processor area implied by the paper's
+	// "0.00042 mm² consumes 0.0002% of a high-end Intel Xeon" claim.
+	XeonAreaMM2 = 0.00042 / 0.0002 * 100
+)
+
+// Inventory describes a BreakHammer deployment.
+type Inventory struct {
+	Threads  int // hardware threads per memory channel
+	Channels int // memory channels
+}
+
+// TotalBits returns the total storage in bits.
+func (i Inventory) TotalBits() int { return i.Threads * i.Channels * BitsPerThread }
+
+// AreaMM2 returns the estimated 65 nm area in mm².
+func (i Inventory) AreaMM2() float64 { return float64(i.TotalBits()) * AreaPerBitMM2 }
+
+// XeonFraction returns the area as a fraction of the reference high-end
+// Xeon die.
+func (i Inventory) XeonFraction() float64 { return i.AreaMM2() / XeonAreaMM2 }
+
+// OffCriticalPath reports whether BreakHammer's decision latency fits
+// under the minimum inter-activation gap (tRRD) of the given standard's
+// value in nanoseconds — the §6 argument for why BreakHammer sits off the
+// memory request scheduler's critical path.
+func OffCriticalPath(trrdNs float64) bool { return LatencyNs < trrdNs }

@@ -1,0 +1,60 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitsPerThreadInventory(t *testing.T) {
+	// §6: 2x32-bit scores + 1x16-bit ACT counter + 2x1-bit flags = 82 bits.
+	if BitsPerThread != 82 {
+		t.Errorf("BitsPerThread = %d, want 82", BitsPerThread)
+	}
+}
+
+func TestPaperChannelAreaReproduced(t *testing.T) {
+	// The paper's per-channel figure: 0.000105 mm² for 4 threads at 65 nm.
+	inv := Inventory{Threads: 4, Channels: 1}
+	if got := inv.AreaMM2(); math.Abs(got-0.000105) > 1e-9 {
+		t.Errorf("AreaMM2 = %g, want 0.000105 (§6)", got)
+	}
+}
+
+func TestPaperTotalAreaAndXeonFraction(t *testing.T) {
+	// §6: overall overhead 0.00042 mm² = 0.0002% of a high-end Xeon.
+	// 0.00042 mm² corresponds to 4 channels of the per-channel figure.
+	inv := Inventory{Threads: 4, Channels: 4}
+	if got := inv.AreaMM2(); math.Abs(got-0.00042) > 1e-9 {
+		t.Errorf("total AreaMM2 = %g, want 0.00042", got)
+	}
+	if got := inv.XeonFraction(); math.Abs(got-0.000002) > 1e-12 {
+		t.Errorf("XeonFraction = %g, want 0.0002%% = 2e-6", got)
+	}
+}
+
+func TestLatencyUnderTRRD(t *testing.T) {
+	// §6: 0.67 ns < tRRD of both DDR4 (2.5 ns) and DDR5 (5 ns).
+	if math.Abs(LatencyNs-0.67) > 0.01 {
+		t.Errorf("LatencyNs = %g, want ≈ 0.67", LatencyNs)
+	}
+	if !OffCriticalPath(TRRDDDR4Ns) {
+		t.Error("BreakHammer must fit under DDR4 tRRD")
+	}
+	if !OffCriticalPath(TRRDDDR5Ns) {
+		t.Error("BreakHammer must fit under DDR5 tRRD")
+	}
+	if OffCriticalPath(0.5) {
+		t.Error("latency check must fail for a bound below 0.67 ns")
+	}
+}
+
+func TestAreaScalesLinearly(t *testing.T) {
+	small := Inventory{Threads: 4, Channels: 1}
+	big := Inventory{Threads: 8, Channels: 2}
+	if got, want := big.AreaMM2(), 4*small.AreaMM2(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("area did not scale linearly: %g vs %g", got, want)
+	}
+	if big.TotalBits() != 8*2*82 {
+		t.Errorf("TotalBits = %d, want %d", big.TotalBits(), 8*2*82)
+	}
+}

@@ -1,0 +1,114 @@
+// Package memctrl implements the memory controller: request queues, the
+// FR-FCFS+Cap scheduler (Table 1: cap of 4 on column-over-row reordering),
+// MOP address mapping, all-bank refresh, and the preventive-action issue
+// path used by RowHammer mitigation mechanisms (victim-row refreshes, RFM
+// commands, AQUA row migrations, and PRAC back-off).
+package memctrl
+
+import "breakhammer/internal/dram"
+
+// AddressMapper translates a cache-line address into a DRAM location.
+type AddressMapper interface {
+	Map(line uint64) dram.Addr
+}
+
+// MOPMapper implements the Minimalist Open-Page mapping (Kaseridis et al.,
+// MICRO 2011; Table 1's address mapping). Consecutive cache lines fill a
+// small per-row block (the MOP block) before striping across banks, bank
+// groups and ranks, so that a core with spatial locality gets a few row
+// hits per row visit while bank-level parallelism stays high.
+//
+// Line-address bit layout, LSB first:
+//
+//	[ mopBits ][ bank ][ bank group ][ rank ][ column high ][ row ]
+type MOPMapper struct {
+	cfg     dram.Config
+	mopBits uint
+	mopMask uint64
+
+	bankBits, groupBits, rankBits, colHiBits uint
+}
+
+// NewMOPMapper builds a MOP mapper with a block of 4 consecutive lines.
+func NewMOPMapper(cfg dram.Config) *MOPMapper {
+	m := &MOPMapper{cfg: cfg, mopBits: 2}
+	m.mopMask = (1 << m.mopBits) - 1
+	m.bankBits = log2(cfg.BanksPerGroup)
+	m.groupBits = log2(cfg.BankGroups)
+	m.rankBits = log2(cfg.Ranks)
+	colBits := log2(cfg.ColumnsPerRow)
+	if uint(colBits) < m.mopBits {
+		m.mopBits = colBits
+		m.mopMask = (1 << m.mopBits) - 1
+	}
+	m.colHiBits = colBits - m.mopBits
+	return m
+}
+
+func log2(v int) uint {
+	var b uint
+	for 1<<b < v {
+		b++
+	}
+	return b
+}
+
+// RowInterleavedMapper implements the classic RoBaRaCoCh-style layout:
+// consecutive cache lines walk the full column space of one row before
+// moving to the next bank. It maximises row-buffer hits for streaming
+// access at the cost of bank-level parallelism — the baseline MOP is
+// compared against (an ablation benchmark covers the difference).
+//
+// Line-address bit layout, LSB first:
+//
+//	[ column ][ bank ][ bank group ][ rank ][ row ]
+type RowInterleavedMapper struct {
+	cfg                                    dram.Config
+	colBits, bankBits, groupBits, rankBits uint
+}
+
+// NewRowInterleavedMapper builds the mapper for a topology.
+func NewRowInterleavedMapper(cfg dram.Config) *RowInterleavedMapper {
+	return &RowInterleavedMapper{
+		cfg:       cfg,
+		colBits:   log2(cfg.ColumnsPerRow),
+		bankBits:  log2(cfg.BanksPerGroup),
+		groupBits: log2(cfg.BankGroups),
+		rankBits:  log2(cfg.Ranks),
+	}
+}
+
+// Map decodes a line address into (bank, row, column).
+func (m *RowInterleavedMapper) Map(line uint64) dram.Addr {
+	col := int(line & ((1 << m.colBits) - 1))
+	line >>= m.colBits
+	bank := int(line & ((1 << m.bankBits) - 1))
+	line >>= m.bankBits
+	group := int(line & ((1 << m.groupBits) - 1))
+	line >>= m.groupBits
+	rank := int(line & ((1 << m.rankBits) - 1))
+	line >>= m.rankBits
+	row := int(line) % m.cfg.RowsPerBank
+	return dram.Addr{Bank: m.cfg.GlobalBank(rank, group, bank), Row: row, Col: col}
+}
+
+// Map decodes a line address into (bank, row, column).
+func (m *MOPMapper) Map(line uint64) dram.Addr {
+	colLo := int(line & m.mopMask)
+	line >>= m.mopBits
+	bank := int(line & ((1 << m.bankBits) - 1))
+	line >>= m.bankBits
+	group := int(line & ((1 << m.groupBits) - 1))
+	line >>= m.groupBits
+	rank := int(line & ((1 << m.rankBits) - 1))
+	line >>= m.rankBits
+	colHi := int(line & ((1 << m.colHiBits) - 1))
+	line >>= m.colHiBits
+	row := int(line) % m.cfg.RowsPerBank
+
+	return dram.Addr{
+		Bank: m.cfg.GlobalBank(rank, group, bank),
+		Row:  row,
+		Col:  colHi<<m.mopBits | colLo,
+	}
+}

@@ -1,0 +1,475 @@
+package memctrl
+
+import "breakhammer/internal/dram"
+
+// Config holds the memory-controller parameters (Table 1: 64-entry
+// read/write request queues, FR-FCFS+Cap with Cap=4, MOP address mapping).
+type Config struct {
+	ReadQueue  int // read request queue capacity
+	WriteQueue int // write request queue capacity
+	WriteHi    int // start draining writes at this occupancy
+	WriteLo    int // stop draining writes at this occupancy
+	Cap        int // FR-FCFS column-over-row reordering cap
+}
+
+// DefaultConfig returns the Table 1 controller configuration.
+func DefaultConfig() Config {
+	return Config{ReadQueue: 64, WriteQueue: 64, WriteHi: 48, WriteLo: 16, Cap: 4}
+}
+
+// Request is one in-flight memory request.
+type Request struct {
+	Line   uint64
+	Thread int // hardware thread; -1 for system traffic (writebacks)
+	Write  bool
+	Arrive int64
+	Addr   dram.Addr
+
+	opened bool // this request triggered the row activation itself
+}
+
+// ActivateHook observes every demand row activation. Mitigation mechanisms
+// and BreakHammer register hooks; thread is -1 for writeback traffic.
+type ActivateHook func(bank, row, thread int, now int64)
+
+// ActGate can veto a demand activation (BlockHammer's row blacklisting).
+// Returning false delays the activation; the scheduler retries later.
+type ActGate func(bank, row, thread int, now int64) bool
+
+// LatencySink receives the queuing+service latency (in cycles) of each
+// completed read, attributed to the requesting thread.
+type LatencySink func(thread int, cycles int64)
+
+type prevAction struct {
+	cmd dram.Command // CmdVRR, CmdRFM or CmdMIG
+	row int
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	DemandACTs    []int64 // per-thread demand activations (row-buffer misses)
+	RowHits       []int64 // per-thread row-buffer hits
+	ReadsDone     []int64 // per-thread completed reads
+	WritesDone    int64
+	Refreshes     int64
+	VRRs          int64 // victim-row refreshes issued
+	RFMs          int64
+	Migrations    int64
+	AuxAccesses   int64 // metadata accesses (Hydra table traffic)
+	GatedACTs     int64 // activations delayed by an ActGate
+	TotalACTs     int64 // all activations including writebacks
+	BackoffCycles int64 // cycles spent with the channel paused by PRAC back-off
+}
+
+type response struct {
+	at  int64
+	req *Request
+}
+
+// Controller owns one channel: it schedules DRAM commands for demand
+// requests, periodic refresh, and mitigation-requested preventive actions.
+type Controller struct {
+	cfg    Config
+	dev    *dram.Device
+	mapper AddressMapper
+
+	readQ  []*Request
+	writeQ []*Request
+
+	responses []response // FIFO: read data arrivals are monotonic in time
+	fill      func(line uint64)
+	latency   LatencySink
+
+	hooks   []ActivateHook
+	actGate ActGate
+
+	// Refresh state, per rank.
+	nextRef    []int64
+	refPending []bool
+
+	// Preventive actions, per global bank.
+	prevQ       [][]prevAction
+	prevPending int
+
+	backoffUntil int64 // channel-wide ACT pause (PRAC alert back-off)
+
+	draining bool
+	capCount []int // per-bank consecutive column-over-row reorders
+
+	now   int64 // current cycle, updated by Tick
+	stats Stats
+}
+
+// New constructs a controller for the device. threads is the number of
+// hardware threads for per-thread accounting.
+func New(cfg Config, dev *dram.Device, threads int) *Controller {
+	banks := dev.Config().TotalBanks()
+	ranks := dev.Config().Ranks
+	c := &Controller{
+		cfg:          cfg,
+		dev:          dev,
+		mapper:       NewMOPMapper(dev.Config()),
+		nextRef:      make([]int64, ranks),
+		refPending:   make([]bool, ranks),
+		prevQ:        make([][]prevAction, banks),
+		capCount:     make([]int, banks),
+		backoffUntil: -1,
+	}
+	t := dev.Timing()
+	for r := 0; r < ranks; r++ {
+		// Stagger the per-rank refresh schedule.
+		c.nextRef[r] = t.REFI * int64(r+1) / int64(ranks)
+	}
+	c.stats = Stats{
+		DemandACTs: make([]int64, threads),
+		RowHits:    make([]int64, threads),
+		ReadsDone:  make([]int64, threads),
+	}
+	return c
+}
+
+// SetFillFunc installs the LLC fill callback invoked when read data
+// arrives.
+func (c *Controller) SetFillFunc(f func(line uint64)) { c.fill = f }
+
+// SetMapper replaces the address mapper (default: MOP). It must be called
+// before any request is enqueued.
+func (c *Controller) SetMapper(m AddressMapper) {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 {
+		panic("memctrl: SetMapper after requests were enqueued")
+	}
+	c.mapper = m
+}
+
+// SetLatencySink installs the read-latency recorder.
+func (c *Controller) SetLatencySink(s LatencySink) { c.latency = s }
+
+// AddActivateHook registers an observer of demand activations.
+func (c *Controller) AddActivateHook(h ActivateHook) { c.hooks = append(c.hooks, h) }
+
+// SetActGate installs an activation veto (BlockHammer).
+func (c *Controller) SetActGate(g ActGate) { c.actGate = g }
+
+// Stats returns the controller counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// Device returns the attached DRAM device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Mapper returns the address mapper.
+func (c *Controller) Mapper() AddressMapper { return c.mapper }
+
+// QueueOccupancy reports (reads, writes) currently queued.
+func (c *Controller) QueueOccupancy() (int, int) { return len(c.readQ), len(c.writeQ) }
+
+// EnqueueRead implements cache.Backend. It returns false when the read
+// queue is full.
+func (c *Controller) EnqueueRead(line uint64, thread int) bool {
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		return false
+	}
+	c.readQ = append(c.readQ, &Request{
+		Line: line, Thread: thread, Arrive: c.now, Addr: c.mapper.Map(line),
+	})
+	return true
+}
+
+// EnqueueWrite implements cache.Backend. It returns false when the write
+// queue is full.
+func (c *Controller) EnqueueWrite(line uint64, thread int) bool {
+	if len(c.writeQ) >= c.cfg.WriteQueue {
+		return false
+	}
+	c.writeQ = append(c.writeQ, &Request{
+		Line: line, Thread: thread, Write: true, Arrive: c.now, Addr: c.mapper.Map(line),
+	})
+	return true
+}
+
+// ---- Preventive-action interface (implemented for internal/mitigation) ----
+
+// RequestVRR queues targeted victim-row refreshes on a bank.
+func (c *Controller) RequestVRR(bank int, rows []int) {
+	for _, r := range rows {
+		c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdVRR, row: r})
+		c.prevPending++
+	}
+}
+
+// RequestRFM queues one refresh-management command on a bank.
+func (c *Controller) RequestRFM(bank int) {
+	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdRFM})
+	c.prevPending++
+}
+
+// RequestAux queues one auxiliary metadata access (Hydra's in-DRAM
+// row-count table reads/writebacks) on a bank.
+func (c *Controller) RequestAux(bank int) {
+	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdAUX})
+	c.prevPending++
+}
+
+// RequestMigration queues an AQUA row migration on a bank.
+func (c *Controller) RequestMigration(bank, srcRow, dstRow int) {
+	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdMIG, row: srcRow})
+	c.prevPending++
+}
+
+// RequestBackoff models a PRAC alert: the channel stops issuing new
+// demand activations while nRFM refresh-management commands execute on the
+// alerting bank.
+func (c *Controller) RequestBackoff(bank, nRFM int) {
+	t := c.dev.Timing()
+	until := c.now + int64(nRFM)*t.RFM
+	if until > c.backoffUntil {
+		if c.backoffUntil > c.now {
+			c.stats.BackoffCycles += until - c.backoffUntil
+		} else {
+			c.stats.BackoffCycles += until - c.now
+		}
+		c.backoffUntil = until
+	}
+	for i := 0; i < nRFM; i++ {
+		c.RequestRFM(bank)
+	}
+}
+
+// PendingPreventive reports the number of queued preventive actions.
+func (c *Controller) PendingPreventive() int { return c.prevPending }
+
+// Tick advances the controller by one command-bus cycle: it delivers
+// completed read data, then issues at most one DRAM command chosen by
+// priority: refresh > preventive actions > demand requests (FR-FCFS+Cap).
+func (c *Controller) Tick(nowCycle int64) {
+	c.now = nowCycle
+	c.deliverResponses()
+
+	if c.tryRefresh() {
+		return
+	}
+	if c.tryPreventive() {
+		return
+	}
+	c.tryDemand()
+}
+
+func (c *Controller) deliverResponses() {
+	for len(c.responses) > 0 && c.responses[0].at <= c.now {
+		r := c.responses[0]
+		c.responses = c.responses[1:]
+		c.stats.ReadsDone[r.req.Thread]++
+		if c.latency != nil {
+			c.latency(r.req.Thread, r.at-r.req.Arrive)
+		}
+		if c.fill != nil {
+			c.fill(r.req.Line)
+		}
+	}
+}
+
+// tryRefresh advances per-rank refresh. Returns true if a command issued.
+func (c *Controller) tryRefresh() bool {
+	dcfg := c.dev.Config()
+	for rank := 0; rank < dcfg.Ranks; rank++ {
+		if !c.refPending[rank] && c.now >= c.nextRef[rank] {
+			c.refPending[rank] = true
+		}
+		if !c.refPending[rank] {
+			continue
+		}
+		base := rank * dcfg.BanksPerRank()
+		refAddr := dram.Addr{Bank: base}
+		if c.dev.CanIssue(dram.CmdREF, refAddr, c.now) {
+			c.dev.Issue(dram.CmdREF, refAddr, c.now)
+			c.stats.Refreshes++
+			c.refPending[rank] = false
+			c.nextRef[rank] += c.dev.Timing().REFI
+			return true
+		}
+		// Close any open row in the rank so REF becomes legal.
+		for b := base; b < base+dcfg.BanksPerRank(); b++ {
+			if _, open := c.dev.OpenRow(b); !open {
+				continue
+			}
+			pre := dram.Addr{Bank: b}
+			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
+				c.dev.Issue(dram.CmdPRE, pre, c.now)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryPreventive issues queued mitigation actions. Returns true if a
+// command issued.
+func (c *Controller) tryPreventive() bool {
+	if c.prevPending == 0 {
+		return false
+	}
+	for bank := range c.prevQ {
+		if len(c.prevQ[bank]) == 0 {
+			continue
+		}
+		if c.dev.BankBlockedUntil(bank) > c.now {
+			continue
+		}
+		if _, open := c.dev.OpenRow(bank); open {
+			pre := dram.Addr{Bank: bank}
+			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
+				c.dev.Issue(dram.CmdPRE, pre, c.now)
+				return true
+			}
+			continue
+		}
+		act := c.prevQ[bank][0]
+		addr := dram.Addr{Bank: bank, Row: act.row}
+		if !c.dev.CanIssue(act.cmd, addr, c.now) {
+			continue
+		}
+		c.dev.Issue(act.cmd, addr, c.now)
+		c.prevQ[bank] = c.prevQ[bank][1:]
+		c.prevPending--
+		switch act.cmd {
+		case dram.CmdVRR:
+			c.stats.VRRs++
+		case dram.CmdRFM:
+			c.stats.RFMs++
+		case dram.CmdMIG:
+			c.stats.Migrations++
+		case dram.CmdAUX:
+			c.stats.AuxAccesses++
+		}
+		return true
+	}
+	return false
+}
+
+// tryDemand schedules demand requests with FR-FCFS+Cap.
+func (c *Controller) tryDemand() {
+	// Write-drain hysteresis.
+	if len(c.writeQ) >= c.cfg.WriteHi {
+		c.draining = true
+	}
+	if len(c.writeQ) <= c.cfg.WriteLo {
+		c.draining = false
+	}
+	queue := &c.readQ
+	if c.draining || len(c.readQ) == 0 {
+		if len(c.writeQ) > 0 {
+			queue = &c.writeQ
+		} else if len(c.readQ) == 0 {
+			return
+		}
+	}
+	c.schedule(queue)
+}
+
+// schedule implements FR-FCFS with a cap on column-over-row reordering:
+// a row-hit request may bypass at most Cap older row-conflict requests to
+// the same bank before the oldest conflicting request is served first.
+func (c *Controller) schedule(queue *[]*Request) {
+	q := *queue
+
+	// First pass: oldest issuable row-hit column command, respecting Cap.
+	for i, req := range q {
+		row, open := c.dev.OpenRow(req.Addr.Bank)
+		if !open || row != req.Addr.Row {
+			continue
+		}
+		if c.hasOlderConflict(q, i) && c.capCount[req.Addr.Bank] >= c.cfg.Cap {
+			continue // cap reached: stop preferring hits on this bank
+		}
+		cmd := dram.CmdRD
+		if req.Write {
+			cmd = dram.CmdWR
+		}
+		if !c.dev.CanIssue(cmd, req.Addr, c.now) {
+			continue
+		}
+		res := c.dev.Issue(cmd, req.Addr, c.now)
+		if req.Thread >= 0 && !req.opened {
+			c.stats.RowHits[req.Thread]++
+		}
+		if c.hasOlderConflict(q, i) {
+			c.capCount[req.Addr.Bank]++
+		}
+		c.completeColumn(req, res)
+		*queue = append(q[:i], q[i+1:]...)
+		return
+	}
+
+	// Second pass: oldest request's required preparation command.
+	for _, req := range q {
+		bank := req.Addr.Bank
+		if c.dev.BankBlockedUntil(bank) > c.now {
+			continue
+		}
+		if c.bankHasPreventive(bank) || c.rankRefreshPending(bank) {
+			continue // let higher-priority work own the bank
+		}
+		row, open := c.dev.OpenRow(bank)
+		if open && row == req.Addr.Row {
+			continue // a hit already considered in pass 1 (cap/timing held it)
+		}
+		if open {
+			pre := dram.Addr{Bank: bank}
+			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
+				c.dev.Issue(dram.CmdPRE, pre, c.now)
+				c.capCount[bank] = 0
+				return
+			}
+			continue
+		}
+		// Bank precharged: activate the row (subject to gates and back-off).
+		if c.now < c.backoffUntil {
+			continue
+		}
+		if c.actGate != nil && !c.actGate(bank, req.Addr.Row, req.Thread, c.now) {
+			c.stats.GatedACTs++
+			continue
+		}
+		if !c.dev.CanIssue(dram.CmdACT, req.Addr, c.now) {
+			continue
+		}
+		c.dev.Issue(dram.CmdACT, req.Addr, c.now)
+		req.opened = true
+		c.capCount[bank] = 0
+		c.stats.TotalACTs++
+		if req.Thread >= 0 {
+			c.stats.DemandACTs[req.Thread]++
+		}
+		for _, h := range c.hooks {
+			h(bank, req.Addr.Row, req.Thread, c.now)
+		}
+		return
+	}
+}
+
+// completeColumn finalizes a column command: reads schedule a response,
+// writes complete immediately.
+func (c *Controller) completeColumn(req *Request, res dram.IssueResult) {
+	if req.Write {
+		c.stats.WritesDone++
+		return
+	}
+	c.responses = append(c.responses, response{at: res.DataAt, req: req})
+}
+
+func (c *Controller) hasOlderConflict(q []*Request, i int) bool {
+	bank := q[i].Addr.Bank
+	for j := 0; j < i; j++ {
+		if q[j].Addr.Bank == bank && q[j].Addr.Row != q[i].Addr.Row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) bankHasPreventive(bank int) bool {
+	return len(c.prevQ[bank]) > 0
+}
+
+func (c *Controller) rankRefreshPending(bank int) bool {
+	return c.refPending[c.dev.RankOf(bank)]
+}

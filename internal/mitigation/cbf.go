@@ -1,0 +1,65 @@
+package mitigation
+
+// CountingBloom is a counting Bloom filter used by BlockHammer's RowBlocker
+// to estimate per-row activation counts. The estimate (the minimum across
+// the hashed counters) never under-counts, so blacklisting on the estimate
+// is safe.
+type CountingBloom struct {
+	counters []uint32
+	hashes   int
+	seed     uint64
+}
+
+// NewCountingBloom builds a filter with m counters and k hash functions.
+func NewCountingBloom(m, k int, seed uint64) *CountingBloom {
+	if m < 1 {
+		m = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &CountingBloom{counters: make([]uint32, m), hashes: k, seed: seed}
+}
+
+// hash produces the i-th counter index for a key using a
+// SplitMix64-derived double-hashing scheme.
+func (c *CountingBloom) hash(key uint64, i int) int {
+	x := key + c.seed + uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(c.counters)))
+}
+
+// Observe increments the key's counters and returns the new estimate.
+func (c *CountingBloom) Observe(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < c.hashes; i++ {
+		idx := c.hash(key, i)
+		c.counters[idx]++
+		if c.counters[idx] < est {
+			est = c.counters[idx]
+		}
+	}
+	return est
+}
+
+// Estimate returns the key's current over-approximate count.
+func (c *CountingBloom) Estimate(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < c.hashes; i++ {
+		if v := c.counters[c.hash(key, i)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Reset clears all counters.
+func (c *CountingBloom) Reset() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+}

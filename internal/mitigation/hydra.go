@@ -1,0 +1,144 @@
+package mitigation
+
+// Hydra (Qureshi et al., ISCA 2022) uses hybrid tracking: a small on-chip
+// Group Count Table (GCT) counts activations for groups of rows; when a
+// group's aggregate count crosses the group threshold, Hydra switches the
+// group to per-row tracking. The per-row counts live in DRAM; a Row Count
+// Cache (RCC) in the memory controller caches them, and an RCC miss or
+// dirty eviction costs an extra DRAM access. A per-row count crossing the
+// row threshold triggers a preventive neighbour refresh.
+//
+// BreakHammer's score attribution for Hydra (§4.1) counts *both* the
+// RCC miss/eviction traffic and the preventive refreshes as
+// RowHammer-preventive actions; this implementation signals the Observer
+// for both.
+type Hydra struct {
+	params    Params
+	issuer    Issuer
+	obs       Observer
+	groupSize int
+	groupThr  int
+	rowThr    int
+	gct       [][]int32          // [bank][group] aggregate counts
+	perRow    []map[int]int32    // [bank] row -> count, only for escalated groups
+	escalated []map[int]struct{} // [bank] groups in per-row mode
+	rcc       *rccCache
+	actions   int64
+	rccMisses int64
+	refreshes int64
+}
+
+const (
+	hydraGroupSize  = 128
+	hydraRCCEntries = 2048
+)
+
+// NewHydra builds Hydra scaled to p.NRH: group threshold and row threshold
+// are both N_RH/2 per the Hydra configuration methodology.
+func NewHydra(p Params, issuer Issuer, obs Observer) *Hydra {
+	thr := p.NRH / 2
+	if thr < 1 {
+		thr = 1
+	}
+	groups := (p.RowsPerBank + hydraGroupSize - 1) / hydraGroupSize
+	h := &Hydra{
+		params:    p,
+		issuer:    issuer,
+		obs:       orNop(obs),
+		groupSize: hydraGroupSize,
+		groupThr:  thr,
+		rowThr:    thr,
+		gct:       make([][]int32, p.Banks),
+		perRow:    make([]map[int]int32, p.Banks),
+		escalated: make([]map[int]struct{}, p.Banks),
+		rcc:       newRCCCache(hydraRCCEntries),
+	}
+	for i := range h.gct {
+		h.gct[i] = make([]int32, groups)
+		h.perRow[i] = make(map[int]int32)
+		h.escalated[i] = make(map[int]struct{})
+	}
+	return h
+}
+
+// Name implements Mechanism.
+func (m *Hydra) Name() string { return "hydra" }
+
+// Actions implements Mechanism: preventive refreshes plus RCC miss traffic.
+func (m *Hydra) Actions() int64 { return m.actions }
+
+// RCCMisses returns the row-count-cache miss count.
+func (m *Hydra) RCCMisses() int64 { return m.rccMisses }
+
+// Refreshes returns the preventive refresh count.
+func (m *Hydra) Refreshes() int64 { return m.refreshes }
+
+// OnActivate implements Mechanism.
+func (m *Hydra) OnActivate(bank, row, thread int, now int64) {
+	group := row / m.groupSize
+	if _, hot := m.escalated[bank][group]; !hot {
+		m.gct[bank][group]++
+		if int(m.gct[bank][group]) < m.groupThr {
+			return
+		}
+		// Escalate the group to per-row tracking. Rows start at the group
+		// threshold's per-row share, conservatively the group count itself
+		// is unattributable, so Hydra resets per-row counts to the group
+		// count (upper bound). We use the group threshold as the initial
+		// per-row estimate, matching Hydra's conservative reset.
+		m.escalated[bank][group] = struct{}{}
+		m.gct[bank][group] = 0
+	}
+	// Per-row mode: consult the RCC; a miss costs a DRAM table access.
+	key := rccKey(bank, row)
+	if !m.rcc.touch(key) {
+		m.rccMisses++
+		m.actions++
+		m.issuer.RequestAux(bank)
+		m.obs.OnPreventiveAction(now)
+	}
+	m.perRow[bank][row]++
+	if int(m.perRow[bank][row]) < m.rowThr {
+		return
+	}
+	m.perRow[bank][row] = 0
+	m.refreshes++
+	m.actions++
+	m.issuer.RequestVRR(bank, VictimRows(row, m.params.RowsPerBank, m.params.BlastRadius))
+	m.obs.OnPreventiveAction(now)
+}
+
+func rccKey(bank, row int) uint64 { return uint64(bank)<<32 | uint64(uint32(row)) }
+
+// rccCache is a small LRU cache of row-count entries.
+type rccCache struct {
+	capacity int
+	entries  map[uint64]int64 // key -> last-use tick
+	tick     int64
+}
+
+func newRCCCache(capacity int) *rccCache {
+	return &rccCache{capacity: capacity, entries: make(map[uint64]int64, capacity)}
+}
+
+// touch returns true on hit; on miss it inserts the key, evicting the LRU
+// entry if needed.
+func (c *rccCache) touch(key uint64) bool {
+	c.tick++
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = c.tick
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		var victim uint64
+		oldest := int64(1<<62 - 1)
+		for k, t := range c.entries {
+			if t < oldest {
+				oldest, victim = t, k
+			}
+		}
+		delete(c.entries, victim)
+	}
+	c.entries[key] = c.tick
+	return false
+}

@@ -1,0 +1,143 @@
+// Package mitigation implements the eight RowHammer mitigation mechanisms
+// that the BreakHammer paper pairs with its throttling support — PARA,
+// Graphene, Hydra, TWiCe, AQUA, REGA, RFM and PRAC — plus BlockHammer, the
+// throttling-based baseline used as the comparison point in §8.3.
+//
+// Each mechanism observes demand row activations (via the memory
+// controller's activate hook), runs its trigger algorithm, and requests
+// RowHammer-preventive actions from an Issuer (victim-row refreshes, RFM
+// commands, row migrations, or a PRAC back-off). When a mechanism performs
+// a preventive action it notifies an Observer — BreakHammer implements the
+// Observer to attribute RowHammer-preventive scores to threads (§4.1).
+package mitigation
+
+import "fmt"
+
+// Issuer is the memory controller's preventive-action interface.
+// breakhammer/internal/memctrl.Controller implements it.
+type Issuer interface {
+	RequestVRR(bank int, rows []int)
+	RequestRFM(bank int)
+	RequestAux(bank int)
+	RequestMigration(bank, srcRow, dstRow int)
+	RequestBackoff(bank, nRFM int)
+}
+
+// Observer is notified of RowHammer-preventive actions so scores can be
+// attributed to threads. BreakHammer implements Observer; a nil Observer
+// is replaced by a no-op.
+type Observer interface {
+	// OnPreventiveAction signals an action attributable proportionally to
+	// all threads' activation counts since the previous action (Alg. 1).
+	OnPreventiveAction(now int64)
+	// OnThreadPreventiveAction signals an action attributable to one
+	// specific thread (REGA's per-thread score attribution, §4.1).
+	OnThreadPreventiveAction(thread int, now int64)
+}
+
+// Mechanism is one RowHammer mitigation mechanism.
+type Mechanism interface {
+	// Name returns the mechanism's canonical lower-case name.
+	Name() string
+	// OnActivate observes a demand row activation. thread is -1 for
+	// system (writeback) traffic.
+	OnActivate(bank, row, thread int, now int64)
+	// Actions returns the number of RowHammer-preventive actions
+	// performed so far (Figure 10's metric).
+	Actions() int64
+}
+
+// Params carries the system facts every mechanism needs.
+type Params struct {
+	NRH         int // RowHammer threshold
+	BlastRadius int // victim rows refreshed on each side of an aggressor
+	Banks       int // total banks in the channel
+	RowsPerBank int
+	Threads     int   // hardware threads
+	REFW        int64 // refresh window in cycles (counter-reset period)
+	REFI        int64 // refresh interval in cycles
+	RC          int64 // row-cycle time (ACT-to-ACT) in cycles
+	Seed        int64 // PRNG seed for probabilistic mechanisms
+}
+
+// Validate reports an error for non-positive parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.NRH <= 0:
+		return fmt.Errorf("mitigation: NRH must be positive, got %d", p.NRH)
+	case p.BlastRadius <= 0:
+		return fmt.Errorf("mitigation: BlastRadius must be positive, got %d", p.BlastRadius)
+	case p.Banks <= 0 || p.RowsPerBank <= 0:
+		return fmt.Errorf("mitigation: bad topology %dx%d", p.Banks, p.RowsPerBank)
+	case p.Threads <= 0:
+		return fmt.Errorf("mitigation: Threads must be positive, got %d", p.Threads)
+	case p.REFW <= 0 || p.REFI <= 0 || p.RC <= 0:
+		return fmt.Errorf("mitigation: non-positive timing parameter")
+	}
+	return nil
+}
+
+// VictimRows returns the neighbours of an aggressor row within the blast
+// radius, clipped to the bank.
+func VictimRows(row, rowsPerBank, radius int) []int {
+	victims := make([]int, 0, 2*radius)
+	for d := 1; d <= radius; d++ {
+		if v := row - d; v >= 0 {
+			victims = append(victims, v)
+		}
+		if v := row + d; v < rowsPerBank {
+			victims = append(victims, v)
+		}
+	}
+	return victims
+}
+
+type nopObserver struct{}
+
+func (nopObserver) OnPreventiveAction(int64)            {}
+func (nopObserver) OnThreadPreventiveAction(int, int64) {}
+
+func orNop(obs Observer) Observer {
+	if obs == nil {
+		return nopObserver{}
+	}
+	return obs
+}
+
+// Names lists the canonical mechanism names accepted by New, in the order
+// the paper's figures present them.
+func Names() []string {
+	return []string{"para", "graphene", "hydra", "twice", "aqua", "rega", "rfm", "prac"}
+}
+
+// New constructs a mechanism by name. "blockhammer" builds the baseline
+// comparator; "none" returns nil (no mitigation).
+func New(name string, p Params, issuer Issuer, obs Observer) (Mechanism, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "none":
+		return nil, nil
+	case "para":
+		return NewPARA(p, issuer, obs), nil
+	case "graphene":
+		return NewGraphene(p, issuer, obs), nil
+	case "hydra":
+		return NewHydra(p, issuer, obs), nil
+	case "twice":
+		return NewTWiCe(p, issuer, obs), nil
+	case "aqua":
+		return NewAQUA(p, issuer, obs), nil
+	case "rega":
+		return NewREGA(p, obs), nil
+	case "rfm":
+		return NewRFM(p, issuer, obs), nil
+	case "prac":
+		return NewPRAC(p, issuer, obs), nil
+	case "blockhammer":
+		return NewBlockHammer(p), nil
+	default:
+		return nil, fmt.Errorf("mitigation: unknown mechanism %q", name)
+	}
+}

@@ -1,0 +1,57 @@
+package mitigation
+
+import "math/rand"
+
+// PARA (Kim et al., ISCA 2014) is the stateless probabilistic mechanism:
+// on every row activation it refreshes the aggressor's neighbours with a
+// small probability p. p is scaled to the RowHammer threshold so that the
+// probability of an aggressor reaching N_RH activations without a single
+// preventive refresh stays below 2^-40:
+//
+//	(1-p)^N_RH <= 2^-40  =>  p ≈ 27.7 / N_RH
+//
+// We use p = min(1, 27.7/N_RH), which reproduces PARA's defining behaviour
+// in the paper's motivation (§3): at low N_RH, even benign applications
+// trigger frequent preventive refreshes because p approaches 1.
+type PARA struct {
+	p       float64
+	params  Params
+	issuer  Issuer
+	obs     Observer
+	rng     *rand.Rand
+	actions int64
+}
+
+// NewPARA builds a PARA instance scaled to p.NRH.
+func NewPARA(p Params, issuer Issuer, obs Observer) *PARA {
+	prob := 27.7 / float64(p.NRH)
+	if prob > 1 {
+		prob = 1
+	}
+	return &PARA{
+		p:      prob,
+		params: p,
+		issuer: issuer,
+		obs:    orNop(obs),
+		rng:    rand.New(rand.NewSource(p.Seed ^ 0x5041524141524150)),
+	}
+}
+
+// Name implements Mechanism.
+func (m *PARA) Name() string { return "para" }
+
+// Probability returns the per-activation refresh probability.
+func (m *PARA) Probability() float64 { return m.p }
+
+// Actions implements Mechanism.
+func (m *PARA) Actions() int64 { return m.actions }
+
+// OnActivate implements Mechanism: flip the coin, maybe refresh victims.
+func (m *PARA) OnActivate(bank, row, thread int, now int64) {
+	if m.rng.Float64() >= m.p {
+		return
+	}
+	m.issuer.RequestVRR(bank, VictimRows(row, m.params.RowsPerBank, m.params.BlastRadius))
+	m.actions++
+	m.obs.OnPreventiveAction(now)
+}

@@ -1,0 +1,72 @@
+package mitigation
+
+// REGA (Marazzi et al., S&P 2023) modifies the DRAM chip: a second row
+// buffer per subarray lets the device refresh victim rows *in parallel*
+// with serving demand activations. REGA therefore performs no preventive
+// actions through the memory controller; its cost appears as lengthened
+// row timings (the refresh-generating activation stretches tRAS/tRP), and
+// its cost grows as N_RH shrinks because more rows must be refreshed per
+// activation (the parameter V in the REGA paper).
+//
+// Score attribution (§4.1): BreakHammer increments a thread's score by one
+// for every REGA_T activations the thread performs. We use
+// REGA_T = max(1, N_RH/4).
+type REGA struct {
+	params  Params
+	obs     Observer
+	regaT   int
+	acts    []int // per-thread activation counts modulo REGA_T
+	actions int64
+}
+
+// NewREGA builds the REGA score tracker. The timing penalty is applied to
+// the device separately via TimingPenalty at system construction.
+func NewREGA(p Params, obs Observer) *REGA {
+	rt := p.NRH / 4
+	if rt < 1 {
+		rt = 1
+	}
+	return &REGA{
+		params: p,
+		obs:    orNop(obs),
+		regaT:  rt,
+		acts:   make([]int, p.Threads),
+	}
+}
+
+// Name implements Mechanism.
+func (m *REGA) Name() string { return "rega" }
+
+// RegaT returns the per-thread activation period between score events.
+func (m *REGA) RegaT() int { return m.regaT }
+
+// Actions implements Mechanism.
+func (m *REGA) Actions() int64 { return m.actions }
+
+// OnActivate implements Mechanism: pure score bookkeeping, no actions are
+// issued to the controller (the device refreshes in parallel).
+func (m *REGA) OnActivate(bank, row, thread int, now int64) {
+	if thread < 0 || thread >= len(m.acts) {
+		return
+	}
+	m.acts[thread]++
+	if m.acts[thread] < m.regaT {
+		return
+	}
+	m.acts[thread] = 0
+	m.actions++
+	m.obs.OnThreadPreventiveAction(thread, now)
+}
+
+// REGATimingPenalty returns the extra tRAS and tRP cycles a REGA device
+// needs at the given RowHammer threshold. V = ceil(512/N_RH) rows must be
+// refreshed per activation; each extra row stretches the restore phase.
+// The constants are a synthetic fit to the REGA paper's reported slowdowns
+// (near-zero at N_RH >= 512, growing steeply below).
+func REGATimingPenalty(nrh int) (extraRAS, extraRP int64) {
+	v := int64(1)
+	if nrh < 512 {
+		v = int64((512 + nrh - 1) / nrh)
+	}
+	return 6 * (v - 1), 2 * (v - 1)
+}

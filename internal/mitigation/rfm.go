@@ -1,0 +1,56 @@
+package mitigation
+
+// RFM implements DDR5 Refresh Management (JESD79-5): the memory controller
+// counts rolling activations per bank (the RAA counter) and issues an RFM
+// command — giving the in-DRAM mitigation time to refresh — whenever the
+// counter reaches RAAIMT. The RAA counter is decremented by RAAIMT per
+// issued RFM. The DDR5 default RAAIMT is 80; for RowHammer-secure
+// operation at low thresholds prior work scales RAAIMT with N_RH
+// (Canpolat et al., DRAMSec 2024): RAAIMT = clamp(N_RH/4, 8, 80).
+type RFM struct {
+	params  Params
+	issuer  Issuer
+	obs     Observer
+	raaimt  int
+	raa     []int
+	actions int64
+}
+
+// NewRFM builds the RFM policy scaled to p.NRH.
+func NewRFM(p Params, issuer Issuer, obs Observer) *RFM {
+	raaimt := p.NRH / 4
+	if raaimt < 8 {
+		raaimt = 8
+	}
+	if raaimt > 80 {
+		raaimt = 80
+	}
+	return &RFM{
+		params: p,
+		issuer: issuer,
+		obs:    orNop(obs),
+		raaimt: raaimt,
+		raa:    make([]int, p.Banks),
+	}
+}
+
+// Name implements Mechanism.
+func (m *RFM) Name() string { return "rfm" }
+
+// RAAIMT returns the activation budget between RFM commands.
+func (m *RFM) RAAIMT() int { return m.raaimt }
+
+// Actions implements Mechanism.
+func (m *RFM) Actions() int64 { return m.actions }
+
+// OnActivate implements Mechanism.
+func (m *RFM) OnActivate(bank, row, thread int, now int64) {
+	m.raa[bank]++
+	if m.raa[bank] < m.raaimt {
+		return
+	}
+	m.raa[bank] -= m.raaimt
+	m.issuer.RequestRFM(bank)
+	m.actions++
+	m.obs.OnPreventiveAction(now)
+}

@@ -1,0 +1,106 @@
+package mitigation
+
+// TWiCe (Lee et al., ISCA 2019) keeps a per-bank table of recently
+// activated rows. Each entry records an activation count and a birth time.
+// Entries are pruned at every refresh interval when their count is too low
+// to possibly reach the RowHammer threshold within the refresh window —
+// i.e. when count < age/tREFW · threshold (the "pruning line"). A row whose
+// count reaches the refresh threshold N_RH/4 gets its neighbours refreshed
+// and its entry retired.
+type TWiCe struct {
+	params    Params
+	issuer    Issuer
+	obs       Observer
+	threshold int
+	tables    []map[int]*twiceEntry
+	nextPrune int64
+	actions   int64
+}
+
+type twiceEntry struct {
+	count int
+	born  int64
+}
+
+// NewTWiCe builds per-bank TWiCe tables scaled to p.NRH.
+func NewTWiCe(p Params, issuer Issuer, obs Observer) *TWiCe {
+	threshold := p.NRH / 4
+	if threshold < 1 {
+		threshold = 1
+	}
+	t := &TWiCe{
+		params:    p,
+		issuer:    issuer,
+		obs:       orNop(obs),
+		threshold: threshold,
+		tables:    make([]map[int]*twiceEntry, p.Banks),
+		nextPrune: p.REFI,
+	}
+	for i := range t.tables {
+		t.tables[i] = make(map[int]*twiceEntry)
+	}
+	return t
+}
+
+// Name implements Mechanism.
+func (m *TWiCe) Name() string { return "twice" }
+
+// Threshold returns the refresh trigger threshold.
+func (m *TWiCe) Threshold() int { return m.threshold }
+
+// TableSize returns the current number of live entries across banks.
+func (m *TWiCe) TableSize() int {
+	n := 0
+	for _, t := range m.tables {
+		n += len(t)
+	}
+	return n
+}
+
+// Actions implements Mechanism.
+func (m *TWiCe) Actions() int64 { return m.actions }
+
+// OnActivate implements Mechanism.
+func (m *TWiCe) OnActivate(bank, row, thread int, now int64) {
+	if now >= m.nextPrune {
+		m.prune(now)
+		m.nextPrune = now + m.params.REFI
+	}
+	tbl := m.tables[bank]
+	e, ok := tbl[row]
+	if !ok {
+		e = &twiceEntry{born: now}
+		tbl[row] = e
+	}
+	e.count++
+	if e.count < m.threshold {
+		return
+	}
+	delete(tbl, row)
+	m.issuer.RequestVRR(bank, VictimRows(row, m.params.RowsPerBank, m.params.BlastRadius))
+	m.actions++
+	m.obs.OnPreventiveAction(now)
+}
+
+// prune drops entries whose activation rate is too low to ever reach the
+// threshold within the refresh window.
+func (m *TWiCe) prune(now int64) {
+	for _, tbl := range m.tables {
+		for row, e := range tbl {
+			age := now - e.born
+			if age <= 0 {
+				continue
+			}
+			// Minimum count needed at this age to stay on a trajectory
+			// that reaches threshold by tREFW.
+			need := int(int64(m.threshold) * age / m.params.REFW)
+			if e.count < need {
+				delete(tbl, row)
+			}
+			// Entries older than a refresh window have been auto-refreshed.
+			if age >= m.params.REFW {
+				delete(tbl, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package security implements the paper's analytical security model (§5):
+// the upper bound on the RowHammer-preventive score an attack thread can
+// accumulate without being identified as a suspect (Expression 2), the
+// Fig. 5 curve family, and helpers for reasoning about multi-threaded
+// rigging attacks.
+package security
+
+import "math"
+
+// MaxAttackerScore returns RS_max_atk normalized to the average
+// RowHammer-preventive score of benign threads (RS_avg_ben), for an
+// attacker controlling attackerFrac of all hardware threads under an
+// outlier threshold thOutlier.
+//
+// Derivation from Expression 2 at the evasion fixed point (every attack
+// thread holds the maximal undetected score S, benign threads hold the
+// normalized average 1):
+//
+//	S = (1 + TH) * (f*S + (1-f)) / 1
+//	  => S = (1+TH)(1-f) / (1 - (1+TH)f)
+//
+// When (1+TH)*f >= 1 the attacker's threads dominate the mean enough to
+// rig suspect identification entirely and the bound diverges (+Inf).
+func MaxAttackerScore(attackerFrac, thOutlier float64) float64 {
+	if attackerFrac < 0 || attackerFrac > 1 || thOutlier < 0 {
+		return math.NaN()
+	}
+	k := 1 + thOutlier
+	den := 1 - k*attackerFrac
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return k * (1 - attackerFrac) / den
+}
+
+// MinAttackerFraction returns the smallest fraction of hardware threads an
+// attacker must control so that an attack thread can hold a score of
+// target (normalized to the benign average) without detection — the
+// inverse of MaxAttackerScore.
+func MinAttackerFraction(target, thOutlier float64) float64 {
+	if target <= 0 || thOutlier < 0 {
+		return math.NaN()
+	}
+	k := 1 + thOutlier
+	if target <= k {
+		return 0 // a single thread may hold up to (1+TH)x the mean
+	}
+	// Solve target = k(1-f)/(1-kf) for f.
+	f := (target - k) / (k * (target - 1))
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Point is one sample of a Fig. 5 curve.
+type Point struct {
+	AttackerPercent float64 // x-axis: percentage of attack threads
+	MaxScore        float64 // y-axis: RS_max_atk / RS_avg_ben
+}
+
+// Figure5Curve samples MaxAttackerScore for one TH_outlier configuration
+// over attacker-thread percentages 0..100 in the given step.
+func Figure5Curve(thOutlier float64, stepPercent float64) []Point {
+	if stepPercent <= 0 {
+		stepPercent = 10
+	}
+	var pts []Point
+	for p := 0.0; p <= 100.0001; p += stepPercent {
+		pts = append(pts, Point{
+			AttackerPercent: p,
+			MaxScore:        MaxAttackerScore(p/100, thOutlier),
+		})
+	}
+	return pts
+}
+
+// Figure5Outliers returns the TH_outlier values plotted in Fig. 5
+// (0.05 to 0.95 in steps of 0.10).
+func Figure5Outliers() []float64 {
+	var out []float64
+	for v := 0.05; v < 1.0; v += 0.10 {
+		out = append(out, math.Round(v*100)/100)
+	}
+	return out
+}
+
+// ScoreAttributionSafe verifies the §5.3 argument numerically: given
+// per-thread activation counts toward one preventive action, the scores
+// attributed sum to one and each thread's share equals its activation
+// share, so an attacker cannot shift blame to a victim that performed few
+// activations. It returns the attributed shares.
+func ScoreAttributionSafe(activations []int64) []float64 {
+	var total int64
+	for _, a := range activations {
+		total += a
+	}
+	shares := make([]float64, len(activations))
+	if total == 0 {
+		return shares
+	}
+	for i, a := range activations {
+		shares[i] = float64(a) / float64(total)
+	}
+	return shares
+}

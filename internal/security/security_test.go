@@ -1,0 +1,155 @@
+package security
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperObservation1(t *testing.T) {
+	// §5.2, Fig. 5 observation 1: at TH_outlier = 0.65 with 50% attack
+	// threads, an attack thread can trigger 4.71x the benign average.
+	got := MaxAttackerScore(0.5, 0.65)
+	if math.Abs(got-4.71) > 0.01 {
+		t.Errorf("MaxAttackerScore(0.5, 0.65) = %.3f, want 4.71 (paper)", got)
+	}
+}
+
+func TestPaperObservation2(t *testing.T) {
+	// §5.2, Fig. 5 observation 2: at TH_outlier = 0.05 with 90% attack
+	// threads, the bound is 1.90x.
+	got := MaxAttackerScore(0.9, 0.05)
+	if math.Abs(got-1.90) > 0.01 {
+		t.Errorf("MaxAttackerScore(0.9, 0.05) = %.3f, want 1.90 (paper)", got)
+	}
+}
+
+func TestPaperConclusionTwiceTheBenignScore(t *testing.T) {
+	// §1: "an attacker cannot trigger twice the RowHammer-preventive
+	// action count of ... benign applications unless the attacker uses
+	// 90% of all hardware threads" (at low TH_outlier).
+	f := MinAttackerFraction(2.0, 0.05)
+	if f < 0.89 {
+		t.Errorf("MinAttackerFraction(2, 0.05) = %.3f, want >= 0.90", f)
+	}
+}
+
+func TestSingleThreadBound(t *testing.T) {
+	// A lone attacker (f -> 0) is bounded by (1 + TH_outlier).
+	got := MaxAttackerScore(0, 0.65)
+	if math.Abs(got-1.65) > 1e-12 {
+		t.Errorf("MaxAttackerScore(0, 0.65) = %g, want 1.65", got)
+	}
+}
+
+func TestDivergenceWhenRigged(t *testing.T) {
+	// With (1+TH)*f >= 1 the attacker rigs the mean: bound diverges.
+	if got := MaxAttackerScore(1.0, 0.65); !math.IsInf(got, 1) {
+		t.Errorf("fully attacker-controlled system bound = %g, want +Inf", got)
+	}
+	if got := MaxAttackerScore(0.7, 0.65); !math.IsInf(got, 1) {
+		t.Errorf("0.7 fraction at TH=0.65 bound = %g, want +Inf (1.65*0.7 > 1)", got)
+	}
+}
+
+func TestMaxScoreMonotoneInFraction(t *testing.T) {
+	f := func(raw uint8) bool {
+		th := 0.65
+		f1 := float64(raw%50) / 100
+		f2 := f1 + 0.05
+		a, b := MaxAttackerScore(f1, th), MaxAttackerScore(f2, th)
+		if math.IsInf(b, 1) {
+			return true
+		}
+		return b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxScoreMonotoneInOutlier(t *testing.T) {
+	// Looser outlier threshold lets an attacker hold more score.
+	a := MaxAttackerScore(0.25, 0.05)
+	b := MaxAttackerScore(0.25, 0.95)
+	if b <= a {
+		t.Errorf("bound must grow with TH_outlier: %.3f !> %.3f", b, a)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, th := range []float64{0.05, 0.35, 0.65} {
+		for _, f := range []float64{0.1, 0.3, 0.5} {
+			s := MaxAttackerScore(f, th)
+			if math.IsInf(s, 1) {
+				continue
+			}
+			back := MinAttackerFraction(s, th)
+			if math.Abs(back-f) > 1e-9 {
+				t.Errorf("round trip th=%g f=%g: got %g", th, f, back)
+			}
+		}
+	}
+}
+
+func TestMinFractionBelowSingleThreadBound(t *testing.T) {
+	if got := MinAttackerFraction(1.2, 0.65); got != 0 {
+		t.Errorf("target below 1+TH needs no extra threads, got %g", got)
+	}
+}
+
+func TestFigure5CurveShape(t *testing.T) {
+	pts := Figure5Curve(0.65, 10)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d, want 11 (0..100 step 10)", len(pts))
+	}
+	if pts[0].AttackerPercent != 0 || pts[len(pts)-1].AttackerPercent != 100 {
+		t.Error("curve does not span 0..100%")
+	}
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1].MaxScore, pts[i].MaxScore
+		if math.IsInf(prev, 1) {
+			continue
+		}
+		if !math.IsInf(cur, 1) && cur < prev {
+			t.Errorf("curve not monotone at %g%%", pts[i].AttackerPercent)
+		}
+	}
+}
+
+func TestFigure5Outliers(t *testing.T) {
+	out := Figure5Outliers()
+	if len(out) != 10 {
+		t.Fatalf("outlier configs = %d, want 10 (Fig. 5 legend)", len(out))
+	}
+	if out[0] != 0.05 || out[9] != 0.95 {
+		t.Errorf("outlier range = [%g, %g], want [0.05, 0.95]", out[0], out[9])
+	}
+}
+
+func TestScoreAttributionShares(t *testing.T) {
+	shares := ScoreAttributionSafe([]int64{3, 1, 0, 0})
+	if math.Abs(shares[0]-0.75) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 {
+		t.Errorf("shares = %v, want [0.75 0.25 0 0]", shares)
+	}
+	// §5.3: a victim with zero activations gets zero score — the
+	// manipulation attack fails.
+	if shares[2] != 0 {
+		t.Error("zero-activation thread received score")
+	}
+	if s := ScoreAttributionSafe([]int64{0, 0}); s[0] != 0 || s[1] != 0 {
+		t.Error("no activations must attribute nothing")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if !math.IsNaN(MaxAttackerScore(-0.1, 0.65)) {
+		t.Error("negative fraction accepted")
+	}
+	if !math.IsNaN(MaxAttackerScore(0.5, -1)) {
+		t.Error("negative outlier accepted")
+	}
+	if !math.IsNaN(MinAttackerFraction(-1, 0.65)) {
+		t.Error("negative target accepted")
+	}
+}

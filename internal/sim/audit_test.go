@@ -1,0 +1,178 @@
+package sim
+
+// Timing-soundness audit: these tests re-verify JEDEC timing invariants
+// over complete simulation command traces, independently of the device's
+// own CanIssue checks. A scheduler bug that somehow slipped a command past
+// the per-command validation would surface here.
+
+import (
+	"testing"
+
+	"breakhammer/internal/dram"
+)
+
+// auditRecord is one issued command.
+type auditRecord struct {
+	cmd  dram.Command
+	addr dram.Addr
+	at   int64
+}
+
+// runAudited runs a mix and returns the full command trace.
+func runAudited(t *testing.T, cfg Config, mixLetters string) ([]auditRecord, *System) {
+	t.Helper()
+	sys, err := NewSystem(cfg, mustMix(t, mixLetters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []auditRecord
+	sys.Controller().Device().SetIssueHook(func(cmd dram.Command, addr dram.Addr, now int64) {
+		trace = append(trace, auditRecord{cmd, addr, now})
+	})
+	sys.Run()
+	return trace, sys
+}
+
+func auditConfig() Config {
+	c := tinyConfig()
+	c.TargetInsts = 60_000 // short: the audit is O(trace length)
+	return c
+}
+
+func TestAuditSameBankActGapsRespectRC(t *testing.T) {
+	cfg := auditConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 128
+	trace, sys := runAudited(t, cfg, "MLLA")
+	tm := sys.Controller().Device().Timing()
+
+	lastACT := map[int]int64{}
+	violations := 0
+	for _, r := range trace {
+		if r.cmd != dram.CmdACT {
+			continue
+		}
+		if prev, ok := lastACT[r.addr.Bank]; ok {
+			if gap := r.at - prev; gap < tm.RC {
+				violations++
+				if violations <= 3 {
+					t.Errorf("bank %d: ACT gap %d < tRC %d at cycle %d",
+						r.addr.Bank, gap, tm.RC, r.at)
+				}
+			}
+		}
+		lastACT[r.addr.Bank] = r.at
+	}
+	if len(lastACT) == 0 {
+		t.Fatal("no activations in trace")
+	}
+}
+
+func TestAuditFAWWindow(t *testing.T) {
+	cfg := auditConfig()
+	trace, sys := runAudited(t, cfg, "HHHA")
+	dev := sys.Controller().Device()
+	tm := dev.Timing()
+
+	// Any 5 consecutive ACTs on one rank must span at least tFAW.
+	perRank := map[int][]int64{}
+	for _, r := range trace {
+		if r.cmd == dram.CmdACT {
+			rank := dev.RankOf(r.addr.Bank)
+			perRank[rank] = append(perRank[rank], r.at)
+		}
+	}
+	for rank, acts := range perRank {
+		for i := 4; i < len(acts); i++ {
+			if span := acts[i] - acts[i-4]; span < tm.FAW {
+				t.Errorf("rank %d: 5 ACTs within %d cycles < tFAW %d", rank, span, tm.FAW)
+			}
+		}
+	}
+}
+
+func TestAuditColumnCommandsOnlyToOpenRow(t *testing.T) {
+	cfg := auditConfig()
+	cfg.Mechanism = "rfm"
+	cfg.NRH = 128
+	trace, _ := runAudited(t, cfg, "MLLA")
+
+	open := map[int]int{} // bank -> open row (-1 = closed)
+	for b := 0; b < 32; b++ {
+		open[b] = -1
+	}
+	for _, r := range trace {
+		switch r.cmd {
+		case dram.CmdACT:
+			if open[r.addr.Bank] != -1 {
+				t.Fatalf("ACT to bank %d with row %d already open at %d",
+					r.addr.Bank, open[r.addr.Bank], r.at)
+			}
+			open[r.addr.Bank] = r.addr.Row
+		case dram.CmdPRE:
+			open[r.addr.Bank] = -1
+		case dram.CmdRD, dram.CmdWR:
+			if open[r.addr.Bank] != r.addr.Row {
+				t.Fatalf("%v to bank %d row %d but open row is %d at %d",
+					r.cmd, r.addr.Bank, r.addr.Row, open[r.addr.Bank], r.at)
+			}
+		case dram.CmdREF:
+			// All-bank refresh requires the rank precharged; checked by
+			// construction in the device. Banks stay closed after REF.
+		}
+	}
+}
+
+func TestAuditRefreshCadence(t *testing.T) {
+	cfg := auditConfig()
+	cfg.TargetInsts = 200_000
+	trace, sys := runAudited(t, cfg, "LLLL")
+	tm := sys.Controller().Device().Timing()
+	dev := sys.Controller().Device()
+
+	perRank := map[int][]int64{}
+	for _, r := range trace {
+		if r.cmd == dram.CmdREF {
+			perRank[dev.RankOf(r.addr.Bank)] = append(perRank[dev.RankOf(r.addr.Bank)], r.at)
+		}
+	}
+	if len(perRank) == 0 {
+		t.Skip("run too short for refresh")
+	}
+	for rank, refs := range perRank {
+		for i := 1; i < len(refs); i++ {
+			gap := refs[i] - refs[i-1]
+			// Allow slack for queue pressure, but the cadence must stay
+			// within 2x of tREFI (no rank may starve of refresh).
+			if gap > 2*tm.REFI {
+				t.Errorf("rank %d: refresh gap %d > 2*tREFI %d", rank, gap, 2*tm.REFI)
+			}
+		}
+	}
+}
+
+func TestAuditPreventiveActionsOnPrechargedBanks(t *testing.T) {
+	cfg := auditConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 128
+	trace, _ := runAudited(t, cfg, "LLLA")
+
+	open := map[int]bool{}
+	sawVRR := false
+	for _, r := range trace {
+		switch r.cmd {
+		case dram.CmdACT:
+			open[r.addr.Bank] = true
+		case dram.CmdPRE:
+			open[r.addr.Bank] = false
+		case dram.CmdVRR, dram.CmdRFM, dram.CmdMIG, dram.CmdAUX:
+			sawVRR = true
+			if open[r.addr.Bank] {
+				t.Fatalf("%v issued to bank %d with a row open at %d", r.cmd, r.addr.Bank, r.at)
+			}
+		}
+	}
+	if !sawVRR {
+		t.Error("no preventive commands in an attack trace")
+	}
+}

@@ -1,0 +1,144 @@
+// Package sim wires the full simulated system together — DRAM device,
+// memory controller, LLC, cores, mitigation mechanism and BreakHammer —
+// and runs multi-programmed workloads to completion, producing the metrics
+// the paper's figures are built from.
+package sim
+
+import (
+	"fmt"
+
+	"breakhammer/internal/cache"
+	"breakhammer/internal/cpu"
+	"breakhammer/internal/dram"
+	"breakhammer/internal/memctrl"
+)
+
+// Config describes one simulation.
+type Config struct {
+	DRAM   dram.Config
+	Timing dram.Timing
+	MC     memctrl.Config
+	Cache  cache.Config
+	Core   cpu.Config
+
+	NRH         int    // RowHammer threshold
+	Mechanism   string // mitigation name ("none", "para", ..., "blockhammer")
+	BreakHammer bool   // pair the mechanism with BreakHammer
+	BlastRadius int    // victim rows per side
+
+	// ThrottleAt selects where BreakHammer's quota is enforced:
+	// "mshr" (default, §4.3: LLC cache-miss buffers) or "lsu" (§4.4:
+	// unresolved loads at the core, for cacheless/DMA-style systems).
+	ThrottleAt string
+
+	// AddressMap selects the physical address layout: "mop" (default,
+	// Table 1) or "rowint" (row-interleaved RoBaRaCoCh baseline).
+	AddressMap string
+
+	// RowPressFactor (>= 1; default 1) hardens the mitigation against
+	// RowPress (§2.2): trigger algorithms are configured against
+	// NRH/RowPressFactor, i.e. "more aggressive ... relatively lower N_RH
+	// values", because keeping a row open amplifies disturbance beyond
+	// what the activation count alone suggests.
+	RowPressFactor int
+
+	// BreakHammer parameters (zero values take Table 2 defaults).
+	BHWindow  int64   // throttling window in cycles; 0 = 64 ms
+	BHThreat  float64 // 0 = 32
+	BHOutlier float64 // 0 = 0.65
+
+	TargetInsts int64 // instructions each benign core must retire
+	MaxCycles   int64 // hard simulation cap
+	Seed        int64
+}
+
+// DefaultConfig returns the paper-scale Table 1 system: it uses the full
+// 64 ms throttling window and 100M-instruction targets. Full-scale runs
+// are hours long; use FastConfig for the bundled harness.
+func DefaultConfig() Config {
+	t := dram.DDR5()
+	return Config{
+		DRAM:        dram.Default(),
+		Timing:      t,
+		MC:          memctrl.DefaultConfig(),
+		Cache:       cache.DefaultConfig(),
+		Core:        cpu.DefaultConfig(),
+		NRH:         1024,
+		Mechanism:   "none",
+		BlastRadius: 2,
+		BHWindow:    t.NsToCycles(64e6), // 64 ms
+		TargetInsts: 100_000_000,
+		MaxCycles:   1 << 62,
+		Seed:        1,
+	}
+}
+
+// FastConfig returns the scaled-down configuration used by the bundled
+// experiment harness: 60K instructions per core and a proportionally
+// shortened throttling window (the detection dynamics are event-driven,
+// so shrinking the window preserves behaviour; see EXPERIMENTS.md).
+func FastConfig() Config {
+	c := DefaultConfig()
+	c.TargetInsts = 400_000
+	c.BHWindow = 1_000_000 // ~0.4 ms: several windows per simulation
+	c.MaxCycles = 60_000_000
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.NRH <= 0 {
+		return fmt.Errorf("sim: NRH must be positive, got %d", c.NRH)
+	}
+	if c.TargetInsts <= 0 {
+		return fmt.Errorf("sim: TargetInsts must be positive, got %d", c.TargetInsts)
+	}
+	if c.BlastRadius <= 0 {
+		return fmt.Errorf("sim: BlastRadius must be positive, got %d", c.BlastRadius)
+	}
+	if c.Mechanism == "blockhammer" && c.BreakHammer {
+		return fmt.Errorf("sim: BlockHammer is a standalone baseline; it is not paired with BreakHammer (§8.3)")
+	}
+	switch c.ThrottleAt {
+	case "", "mshr", "lsu":
+	default:
+		return fmt.Errorf("sim: ThrottleAt must be \"mshr\" or \"lsu\", got %q", c.ThrottleAt)
+	}
+	switch c.AddressMap {
+	case "", "mop", "rowint":
+	default:
+		return fmt.Errorf("sim: AddressMap must be \"mop\" or \"rowint\", got %q", c.AddressMap)
+	}
+	if c.RowPressFactor < 0 {
+		return fmt.Errorf("sim: RowPressFactor must be >= 1 (or 0 for default), got %d", c.RowPressFactor)
+	}
+	return nil
+}
+
+// effectiveNRH returns the threshold the mitigation is configured against
+// (N_RH divided by the RowPress hardening factor, floor 1).
+func (c Config) effectiveNRH() int {
+	f := c.RowPressFactor
+	if f <= 1 {
+		return c.NRH
+	}
+	e := c.NRH / f
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// bhWindow returns the throttling window in cycles.
+func (c Config) bhWindow() int64 {
+	if c.BHWindow > 0 {
+		return c.BHWindow
+	}
+	return c.Timing.NsToCycles(64e6)
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"breakhammer/internal/stats"
+	"breakhammer/internal/workload"
+)
+
+// aloneCache memoizes single-core baseline IPCs across runs; weighted
+// speedup divides every shared-mode IPC by the same alone-mode IPC, so
+// recomputing it per configuration would only waste time.
+var aloneCache sync.Map
+
+// AloneIPC returns the IPC of a spec running alone on the system with no
+// mitigation — the denominator of weighted speedup and maximum slowdown.
+func AloneIPC(cfg Config, spec workload.Spec) (float64, error) {
+	key := fmt.Sprintf("%s|%d|%d|%g|%g|%d|%d",
+		spec.Name, spec.Seed, spec.Class, spec.MPKI, spec.Locality,
+		spec.FootprintLines, cfg.TargetInsts)
+	if v, ok := aloneCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	c := cfg
+	c.Mechanism = "none"
+	c.BreakHammer = false
+	sys, err := NewSystem(c, workload.Mix{Name: "alone-" + spec.Name, Specs: []workload.Spec{spec}})
+	if err != nil {
+		return 0, err
+	}
+	res := sys.Run()
+	ipc := res.IPC[0]
+	aloneCache.Store(key, ipc)
+	return ipc, nil
+}
+
+// MixResult augments a Result with the paper's two headline metrics.
+type MixResult struct {
+	Result
+	WS         float64 // weighted speedup over benign applications
+	Unfairness float64 // maximum slowdown on a benign application
+}
+
+// RunMix builds and runs one simulation of the mix under cfg and computes
+// benign weighted speedup and unfairness against alone-mode baselines.
+func RunMix(cfg Config, mix workload.Mix) (MixResult, error) {
+	sys, err := NewSystem(cfg, mix)
+	if err != nil {
+		return MixResult{}, err
+	}
+	res := sys.Run()
+	res.MixName = mix.Name
+
+	alone := make([]float64, len(mix.Specs))
+	for i, spec := range mix.Specs {
+		if !spec.Benign() {
+			continue // attacker performance is neither waited for nor evaluated
+		}
+		a, err := AloneIPC(cfg, spec)
+		if err != nil {
+			return MixResult{}, err
+		}
+		alone[i] = a
+	}
+	return MixResult{
+		Result:     res,
+		WS:         stats.WeightedSpeedup(res.IPC, alone, res.Benign),
+		Unfairness: stats.MaxSlowdown(res.IPC, alone, res.Benign),
+	}, nil
+}
+
+// RunMixes runs one configuration across many mixes in parallel and
+// returns results in mix order.
+func RunMixes(cfg Config, mixes []workload.Mix) ([]MixResult, error) {
+	results := make([]MixResult, len(mixes))
+	errs := make([]error, len(mixes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, m := range mixes {
+		wg.Add(1)
+		go func(i int, m workload.Mix) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunMix(cfg, m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+
+	"breakhammer/internal/workload"
+)
+
+// tinyConfig keeps integration tests fast while leaving enough simulated
+// time for attack dynamics (mitigation triggers, suspect detection) to
+// develop: ~1M+ cycles per run, several throttling windows.
+func tinyConfig() Config {
+	c := FastConfig()
+	c.TargetInsts = 150_000
+	c.BHWindow = 250_000
+	c.MaxCycles = 30_000_000
+	return c
+}
+
+func mustMix(t *testing.T, letters string) workload.Mix {
+	t.Helper()
+	m, err := workload.ParseMix(letters, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := tinyConfig()
+	c.NRH = 0
+	if err := c.Validate(); err == nil {
+		t.Error("NRH=0 accepted")
+	}
+	c = tinyConfig()
+	c.Mechanism = "blockhammer"
+	c.BreakHammer = true
+	if err := c.Validate(); err == nil {
+		t.Error("BlockHammer+BreakHammer pairing accepted")
+	}
+}
+
+func TestBenignMixCompletesNoDefense(t *testing.T) {
+	cfg := tinyConfig()
+	sys, err := NewSystem(cfg, mustMix(t, "HMLL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if !res.BenignFinished {
+		t.Fatalf("benign cores unfinished after %d cycles", res.Cycles)
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("IPC[%d] = %g, want > 0", i, ipc)
+		}
+	}
+	// High-intensity cores must show higher RBMPKI than low-intensity ones.
+	if res.RBMPKI[0] <= res.RBMPKI[3] {
+		t.Errorf("RBMPKI H=%g should exceed L=%g", res.RBMPKI[0], res.RBMPKI[3])
+	}
+	if res.EnergyNJ <= 0 {
+		t.Error("no energy accounted")
+	}
+	if res.Latency[0].Count() == 0 {
+		t.Error("no latencies recorded for core 0")
+	}
+}
+
+func TestAttackerGeneratesActivationStorm(t *testing.T) {
+	cfg := tinyConfig()
+	sys, err := NewSystem(cfg, mustMix(t, "LLLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	acts := res.MC.DemandACTs
+	// The attacker (thread 3) must out-activate every benign thread by a
+	// wide margin: its accesses all miss, all conflict, across 16 banks.
+	for i := 0; i < 3; i++ {
+		if acts[3] < 4*acts[i] {
+			t.Errorf("attacker ACTs=%d not dominating benign thread %d (%d)", acts[3], i, acts[i])
+		}
+	}
+}
+
+func TestMechanismTriggersUnderAttack(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 256
+	sys, err := NewSystem(cfg, mustMix(t, "LLLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Actions == 0 {
+		t.Error("graphene performed no preventive actions under attack")
+	}
+	if res.MC.VRRs == 0 {
+		t.Error("no victim-row refreshes issued")
+	}
+}
+
+func TestBreakHammerDetectsAndThrottlesAttacker(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 256
+	cfg.BreakHammer = true
+	sys, err := NewSystem(cfg, mustMix(t, "LLLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.BH == nil {
+		t.Fatal("BreakHammer stats missing")
+	}
+	if res.BH.SuspectEvents[3] == 0 {
+		t.Error("attacker (thread 3) never identified as suspect")
+	}
+	for i := 0; i < 3; i++ {
+		if res.BH.SuspectEvents[i] != 0 {
+			t.Errorf("benign thread %d wrongly marked suspect", i)
+		}
+	}
+	if res.CacheStats.QuotaBlocks[3] == 0 {
+		t.Error("attacker was never quota-blocked at the MSHRs")
+	}
+}
+
+func TestBreakHammerReducesPreventiveActions(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 128
+	mix := mustMix(t, "MLLA")
+
+	base, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BreakHammer = true
+	bh, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh.Actions >= base.Actions {
+		t.Errorf("BreakHammer did not reduce preventive actions: %d -> %d",
+			base.Actions, bh.Actions)
+	}
+	if bh.WS <= base.WS {
+		t.Errorf("BreakHammer did not improve benign weighted speedup: %g -> %g",
+			base.WS, bh.WS)
+	}
+}
+
+func TestBreakHammerHarmlessWithoutAttacker(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 1024
+	mix := mustMix(t, "MMLL")
+
+	base, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BreakHammer = true
+	bh, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := bh.WS / base.WS
+	if ratio < 0.93 {
+		t.Errorf("BreakHammer cost %.1f%% benign WS with no attacker", (1-ratio)*100)
+	}
+}
+
+func TestREGAAppliesTimingPenalty(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "rega"
+	cfg.NRH = 64
+	sys, err := NewSystem(cfg, mustMix(t, "HLLL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRAS := tinyConfig().Timing.RAS + 42 // V=8 at NRH=64 -> +6*(8-1)
+	if got := sys.Controller().Device().Timing().RAS; got != wantRAS {
+		t.Errorf("REGA tRAS = %d, want %d", got, wantRAS)
+	}
+}
+
+func TestBlockHammerRunsStandalone(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "blockhammer"
+	cfg.NRH = 128 // low threshold: the attacker's rows blacklist quickly
+	res, err := RunMix(cfg, mustMix(t, "LLLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BenignFinished {
+		t.Error("benign cores did not finish under BlockHammer")
+	}
+	if res.MC.GatedACTs == 0 {
+		t.Error("BlockHammer never gated the attacker's activations")
+	}
+}
+
+func TestAloneIPCCached(t *testing.T) {
+	cfg := tinyConfig()
+	spec := workload.ClassSpec(workload.Low, 0, 5)
+	a, err := AloneIPC(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AloneIPC(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("alone IPC not deterministic/cached: %g vs %g", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("alone IPC = %g", a)
+	}
+}
+
+func TestRunMixesParallel(t *testing.T) {
+	cfg := tinyConfig()
+	mixes := []workload.Mix{mustMix(t, "LLLL"), mustMix(t, "MLLL")}
+	rs, err := RunMixes(cfg, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d, want 2", len(rs))
+	}
+	for i, r := range rs {
+		if r.WS <= 0 {
+			t.Errorf("mix %d WS = %g", i, r.WS)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mechanism = "para"
+	cfg.NRH = 512
+	mix := mustMix(t, "MLLA")
+	a, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.WS != b.WS || a.Actions != b.Actions {
+		t.Errorf("simulation not deterministic: (%d,%g,%d) vs (%d,%g,%d)",
+			a.Cycles, a.WS, a.Actions, b.Cycles, b.WS, b.Actions)
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+
+	"breakhammer/internal/cache"
+	"breakhammer/internal/core"
+	"breakhammer/internal/cpu"
+	"breakhammer/internal/dram"
+	"breakhammer/internal/memctrl"
+	"breakhammer/internal/mitigation"
+	"breakhammer/internal/stats"
+	"breakhammer/internal/workload"
+)
+
+// System is one fully wired simulated machine.
+type System struct {
+	cfg   Config
+	dev   *dram.Device
+	mc    *memctrl.Controller
+	llc   *cache.LLC
+	cores []*cpu.Core
+	mech  mitigation.Mechanism
+	bh    *core.BreakHammer
+
+	benign    []bool
+	latencies []*stats.Histogram
+}
+
+// memPort adapts the LLC to the core's Memory interface.
+type memPort struct {
+	llc    *cache.LLC
+	hitLat int64
+}
+
+func (m memPort) Read(line uint64, thread int, now int64, done func()) cpu.ReadResult {
+	switch m.llc.Read(line, thread, done) {
+	case cache.ReadHit:
+		return cpu.ReadResult{OK: true, ReadyAt: now + m.hitLat}
+	case cache.ReadMiss, cache.ReadMSHRHit:
+		return cpu.ReadResult{OK: true, ReadyAt: -1}
+	default:
+		return cpu.ReadResult{}
+	}
+}
+
+func (m memPort) Write(line uint64, thread int, now int64) bool {
+	return m.llc.Write(line, thread)
+}
+
+// NewSystem builds a system running the given mix (one spec per core).
+func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mix.Specs) == 0 {
+		return nil, fmt.Errorf("sim: empty mix")
+	}
+	threads := len(mix.Specs)
+
+	timing := cfg.Timing
+	if cfg.Mechanism == "rega" {
+		// REGA's cost is a lengthened row cycle, applied to the device.
+		extraRAS, extraRP := mitigation.REGATimingPenalty(cfg.effectiveNRH())
+		timing.RAS += extraRAS
+		timing.RP += extraRP
+		timing.RC = timing.RAS + timing.RP
+	}
+
+	dev, err := dram.NewDevice(cfg.DRAM, timing)
+	if err != nil {
+		return nil, err
+	}
+	mc := memctrl.New(cfg.MC, dev, threads)
+	if cfg.AddressMap == "rowint" {
+		mc.SetMapper(memctrl.NewRowInterleavedMapper(cfg.DRAM))
+	}
+	llc := cache.New(cfg.Cache, threads, mc)
+	mc.SetFillFunc(llc.Fill)
+
+	s := &System{cfg: cfg, dev: dev, mc: mc, llc: llc}
+
+	s.latencies = make([]*stats.Histogram, threads)
+	for i := range s.latencies {
+		s.latencies[i] = stats.NewLatencyHistogram()
+	}
+	mc.SetLatencySink(func(thread int, cycles int64) {
+		if thread >= 0 {
+			s.latencies[thread].Add(timing.CyclesToNs(cycles))
+		}
+	})
+
+	// BreakHammer, if enabled, observes the mechanism and throttles MSHRs.
+	var obs mitigation.Observer
+	if cfg.BreakHammer {
+		p := core.DefaultParams(threads, cfg.Cache.MSHRs, cfg.bhWindow())
+		if cfg.BHThreat > 0 {
+			p.Threat = cfg.BHThreat
+		}
+		if cfg.BHOutlier > 0 {
+			p.Outlier = cfg.BHOutlier
+		}
+		s.bh = core.New(p)
+		obs = s.bh
+		if cfg.ThrottleAt != "lsu" {
+			llc.SetQuotaProvider(s.bh) // §4.3: throttle at the cache-miss buffers
+		}
+		mc.AddActivateHook(func(bank, row, thread int, now int64) {
+			s.bh.OnActivate(thread)
+		})
+	}
+
+	mech, err := mitigation.New(cfg.Mechanism, mitigation.Params{
+		NRH:         cfg.effectiveNRH(),
+		BlastRadius: cfg.BlastRadius,
+		Banks:       cfg.DRAM.TotalBanks(),
+		RowsPerBank: cfg.DRAM.RowsPerBank,
+		Threads:     threads,
+		REFW:        timing.REFW,
+		REFI:        timing.REFI,
+		RC:          timing.RC,
+		Seed:        cfg.Seed,
+	}, mc, obs)
+	if err != nil {
+		return nil, err
+	}
+	s.mech = mech
+	if mech != nil {
+		mc.AddActivateHook(mech.OnActivate)
+		if bhm, ok := mech.(*mitigation.BlockHammer); ok {
+			mc.SetActGate(bhm.ActAllowed)
+			// BlockHammer's AttackThrottler shrinks in-flight request
+			// quotas by each thread's RowHammer likelihood index.
+			bhm.SetMaxQuota(cfg.Cache.MSHRs)
+			llc.SetQuotaProvider(bhm)
+		}
+	}
+
+	port := memPort{llc: llc, hitLat: cfg.Cache.HitLatency}
+	s.cores = make([]*cpu.Core, threads)
+	s.benign = make([]bool, threads)
+	for i, spec := range mix.Specs {
+		gen := workload.NewGenerator(spec, i)
+		s.cores[i] = cpu.New(i, cfg.Core, gen, port, cfg.TargetInsts)
+		if s.bh != nil && cfg.ThrottleAt == "lsu" {
+			s.cores[i].SetLoadQuota(s.bh) // §4.4: throttle unresolved loads at the core
+		}
+		s.benign[i] = spec.Benign()
+	}
+	return s, nil
+}
+
+// Controller exposes the memory controller (tests, characterisation).
+func (s *System) Controller() *memctrl.Controller { return s.mc }
+
+// Cache exposes the LLC.
+func (s *System) Cache() *cache.LLC { return s.llc }
+
+// BreakHammer exposes the throttling mechanism (nil when disabled).
+func (s *System) BreakHammer() *core.BreakHammer { return s.bh }
+
+// Mechanism exposes the mitigation (nil for "none").
+func (s *System) Mechanism() mitigation.Mechanism { return s.mech }
+
+// Result holds the outcome of one simulation.
+type Result struct {
+	MixName string
+	Cycles  int64
+	Seconds float64 // simulated wall-clock time
+
+	IPC     []float64 // per-thread retired instructions per cycle
+	Insts   []int64   // per-thread retired instructions
+	Benign  []bool
+	RBMPKI  []float64 // per-thread row-buffer misses (demand ACTs) per kilo-instruction
+	Latency []*stats.Histogram
+
+	EnergyNJ   float64
+	Actions    int64 // mechanism preventive actions
+	MC         memctrl.Stats
+	CacheStats cache.Stats
+	BH         *core.Stats // nil when BreakHammer is off
+
+	BenignFinished bool // all benign cores reached the target
+}
+
+// Run executes the simulation until every benign core retires the target
+// instruction count (attacker cores are not waited for, matching §7's
+// methodology) or MaxCycles elapses.
+func (s *System) Run() Result {
+	cycle := int64(0)
+	for ; cycle < s.cfg.MaxCycles; cycle++ {
+		s.mc.Tick(cycle)
+		s.llc.Tick()
+		for _, c := range s.cores {
+			c.Tick(cycle)
+		}
+		if s.bh != nil {
+			s.bh.Tick(cycle)
+		}
+		if cycle&1023 == 0 && s.benignFinished() {
+			break
+		}
+	}
+	return s.collect(cycle)
+}
+
+func (s *System) benignFinished() bool {
+	any := false
+	for i, c := range s.cores {
+		if !s.benign[i] {
+			continue
+		}
+		any = true
+		if !c.Finished() {
+			return false
+		}
+	}
+	// An attacker-only system has no finish line; it runs to MaxCycles.
+	return any
+}
+
+func (s *System) collect(cycle int64) Result {
+	threads := len(s.cores)
+	r := Result{
+		Cycles:     cycle,
+		Seconds:    s.cfg.Timing.CyclesToNs(cycle) * 1e-9,
+		IPC:        make([]float64, threads),
+		Insts:      make([]int64, threads),
+		Benign:     append([]bool(nil), s.benign...),
+		RBMPKI:     make([]float64, threads),
+		Latency:    s.latencies,
+		MC:         *s.mc.Stats(),
+		CacheStats: *s.llc.Stats(),
+	}
+	for i, c := range s.cores {
+		r.IPC[i] = c.IPC(cycle)
+		r.Insts[i] = c.Retired()
+		if c.Retired() > 0 {
+			r.RBMPKI[i] = float64(s.mc.Stats().DemandACTs[i]) / float64(c.Retired()) * 1000
+		}
+	}
+	durationNs := s.cfg.Timing.CyclesToNs(cycle)
+	r.EnergyNJ = s.dev.Energy().TotalNJ(durationNs, s.cfg.DRAM.Ranks)
+	if s.mech != nil {
+		r.Actions = s.mech.Actions()
+	}
+	if s.bh != nil {
+		r.BH = s.bh.Stats()
+	}
+	r.BenignFinished = s.benignFinished()
+	return r
+}

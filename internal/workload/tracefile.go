@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace file format (one record per line, Ramulator-style):
+//
+//	<bubbles> <line-address> [R|W]
+//
+// bubbles is the number of non-memory instructions preceding the access;
+// the line address is hexadecimal (0x-prefixed or bare) or decimal; the
+// optional third field marks stores (default: load). Blank lines and
+// lines starting with '#' are ignored. FileTrace replays the records in
+// a loop, like the synthetic generators.
+
+// Record is one parsed trace entry.
+type Record struct {
+	Bubbles int64
+	Line    uint64
+	Write   bool
+}
+
+// FileTrace replays parsed records forever. It implements cpu.Trace.
+type FileTrace struct {
+	recs []Record
+	i    int
+}
+
+// ParseTrace reads a trace file into memory.
+func ParseTrace(r io.Reader) (*FileTrace, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want 2-3 fields, got %d", lineNo, len(fields))
+		}
+		bubbles, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || bubbles < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad bubble count %q", lineNo, fields[0])
+		}
+		addr, err := parseAddr(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", lineNo, err)
+		}
+		rec := Record{Bubbles: bubbles, Line: addr}
+		if len(fields) == 3 {
+			switch strings.ToUpper(fields[2]) {
+			case "R":
+			case "W":
+				rec.Write = true
+			default:
+				return nil, fmt.Errorf("workload: trace line %d: bad op %q (want R or W)", lineNo, fields[2])
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: trace contains no records")
+	}
+	return &FileTrace{recs: recs}, nil
+}
+
+func parseAddr(s string) (uint64, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// Len returns the number of records in one loop of the trace.
+func (t *FileTrace) Len() int { return len(t.recs) }
+
+// Next implements cpu.Trace, looping over the file's records.
+func (t *FileTrace) Next() (int64, uint64, bool) {
+	r := t.recs[t.i%len(t.recs)]
+	t.i++
+	return r.Bubbles, r.Line, r.Write
+}
+
+// WriteTrace samples n records from a generator into w, in the format
+// ParseTrace reads. It gives synthetic workloads a portable on-disk form
+// and produces test vectors for external tools.
+func WriteTrace(w io.Writer, spec Spec, thread int, n int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# breakhammer trace: workload=%s class=%s thread=%d\n",
+		spec.Name, spec.Class, thread)
+	gen := NewGenerator(spec, thread)
+	for i := 0; i < n; i++ {
+		bubbles, line, write := gen.Next()
+		op := "R"
+		if write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0x%x %s\n", bubbles, line, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := `# header comment
+10 0x40 R
+0 0X80 W
+
+5 128
+`
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	b, l, w := tr.Next()
+	if b != 10 || l != 0x40 || w {
+		t.Errorf("rec 0 = (%d, %#x, %v)", b, l, w)
+	}
+	b, l, w = tr.Next()
+	if b != 0 || l != 0x80 || !w {
+		t.Errorf("rec 1 = (%d, %#x, %v), want write", b, l, w)
+	}
+	b, l, w = tr.Next()
+	if b != 5 || l != 128 || w {
+		t.Errorf("rec 2 = (%d, %d, %v), want decimal read", b, l, w)
+	}
+	// Loops forever.
+	b, l, _ = tr.Next()
+	if b != 10 || l != 0x40 {
+		t.Error("trace did not loop")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"# only comments\n", // no records
+		"x 0x40\n",          // bad bubbles
+		"-1 0x40\n",         // negative bubbles
+		"1 zz\n",            // bad address
+		"1 0x40 X\n",        // bad op
+		"1\n",               // too few fields
+		"1 2 3 4\n",         // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	spec := ClassSpec(Medium, 0, 77)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spec, 2, 500); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	// The file replays exactly what the generator produced.
+	gen := NewGenerator(spec, 2)
+	for i := 0; i < 500; i++ {
+		gb, gl, gw := gen.Next()
+		fb, fl, fw := tr.Next()
+		if gb != fb || gl != fl || gw != fw {
+			t.Fatalf("record %d: file (%d,%#x,%v) != generator (%d,%#x,%v)",
+				i, fb, fl, fw, gb, gl, gw)
+		}
+	}
+}
+
+func TestWriteTraceAttacker(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, AttackerSpec(0, 3), 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "class=A") {
+		t.Error("attacker header missing")
+	}
+	tr, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b, _, w := tr.Next()
+		if b != 0 || w {
+			t.Fatal("attacker trace must be bubble-free reads")
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package workload generates the synthetic instruction/memory traces that
+// substitute for the paper's SPEC CPU2006/2017, TPC, MediaBench and YCSB
+// trace files (see DESIGN.md, "Substitutions"). Benign applications are
+// parameterised by the three aggregate knobs the evaluation actually
+// exercises — memory intensity (MPKI), row-buffer locality, and footprint
+// — and are grouped into the High/Medium/Low RBMPKI classes of §7.
+// Attacker traces reproduce the memory access pattern of a many-sided
+// RowHammer attack mounted through LLC eviction sets: a small set of
+// same-bank rows whose lines collide in one cache set, so every access
+// misses the cache and every miss is a row-buffer conflict.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Class is an application's memory-intensity class (§7: groups by RBMPKI).
+type Class int
+
+// Memory-intensity classes. The paper's mixes are spelled with the letters
+// H, M, L and A.
+const (
+	Low Class = iota
+	Medium
+	High
+	Attacker
+)
+
+// String returns the mix letter for the class.
+func (c Class) String() string {
+	switch c {
+	case Low:
+		return "L"
+	case Medium:
+		return "M"
+	case High:
+		return "H"
+	case Attacker:
+		return "A"
+	}
+	return "?"
+}
+
+// ParseClass converts a mix letter into a Class.
+func ParseClass(letter byte) (Class, error) {
+	switch letter {
+	case 'L', 'l':
+		return Low, nil
+	case 'M', 'm':
+		return Medium, nil
+	case 'H', 'h':
+		return High, nil
+	case 'A', 'a':
+		return Attacker, nil
+	}
+	return 0, fmt.Errorf("workload: unknown class letter %q", letter)
+}
+
+// Spec describes one application's trace.
+type Spec struct {
+	Name           string
+	Class          Class
+	MPKI           float64 // LLC accesses per kilo-instruction
+	Locality       float64 // probability the next access is sequential
+	FootprintLines int     // distinct cache lines touched
+	WriteFrac      float64 // fraction of accesses that are stores
+	Seed           int64
+
+	// Hot-row behaviour: a fraction of accesses target a small set of
+	// cache-set-colliding rows. This reproduces Table 3's finding that
+	// benign applications (e.g. 429.mcf with 2564 rows above 512
+	// activations per window) repeatedly activate a few DRAM rows hard
+	// enough to trigger mitigations at low N_RH. The hot lines collide in
+	// one LLC set, so they miss the cache like their real counterparts
+	// whose reuse distances exceed it.
+	HotFrac float64 // fraction of accesses going to the hot rows
+	HotRows int     // number of hot rows
+
+	// Attacker-only knobs.
+	AggressorRows  int // rows hammered round-robin within each bank
+	AggressorBanks int // banks hammered in parallel
+
+	// Thread-rotation knobs (§5.2, "Circumventing Suspect Identification"):
+	// the attacker alternates activity between its threads so that no
+	// single hardware thread accumulates score continuously. A rotating
+	// attacker is active for RotatePeriod accesses in every
+	// RotateSlots*RotatePeriod-access cycle, offset by RotateIndex; while
+	// inactive it idles (emits pure bubbles).
+	RotatePeriod int64
+	RotateSlots  int
+	RotateIndex  int
+}
+
+// Benign reports whether the spec is not an attacker.
+func (s Spec) Benign() bool { return s.Class != Attacker }
+
+// ClassSpec returns the canonical spec for a class. seed individualises
+// the stream; idx picks mild per-application variation within a class so
+// that a mix of two H applications is not two identical traces.
+func ClassSpec(c Class, idx int, seed int64) Spec {
+	switch c {
+	case High:
+		// Streams through a footprint far beyond the 8 MiB LLC with low
+		// locality: RBMPKI ≳ 20 (Table 3's top group).
+		return Spec{
+			Name: fmt.Sprintf("synthH%d", idx), Class: High,
+			MPKI: 45 + 5*float64(idx%3), Locality: 0.30,
+			FootprintLines: 2 << 20, WriteFrac: 0.25, Seed: seed,
+			HotFrac: 0.30, HotRows: 12,
+		}
+	case Medium:
+		return Spec{
+			Name: fmt.Sprintf("synthM%d", idx), Class: Medium,
+			MPKI: 22 + 3*float64(idx%3), Locality: 0.55,
+			FootprintLines: 512 << 10, WriteFrac: 0.25, Seed: seed,
+			HotFrac: 0.20, HotRows: 12,
+		}
+	case Low:
+		// Mostly LLC-resident: RBMPKI near zero.
+		return Spec{
+			Name: fmt.Sprintf("synthL%d", idx), Class: Low,
+			MPKI: 8, Locality: 0.80,
+			FootprintLines: 64 << 10, WriteFrac: 0.25, Seed: seed,
+			HotFrac: 0.05, HotRows: 10,
+		}
+	case Attacker:
+		return AttackerSpec(idx, seed)
+	}
+	panic("workload: unknown class")
+}
+
+// AttackerSpec returns a many-sided RowHammer attacker mounting a memory
+// performance attack (§8.1): it hammers 10 aggressor rows in each of 16
+// banks in parallel. The per-bank lines collide in one LLC set (10 lines
+// against 8 ways defeat LRU), so every access misses the cache, and the
+// bank parallelism maximises both the activation rate and the number of
+// RowHammer-preventive actions triggered. Bank parallelism is also what
+// makes the attack MSHR-hungry — and therefore throttleable by
+// BreakHammer's cache-miss-buffer quota.
+func AttackerSpec(idx int, seed int64) Spec {
+	return Spec{
+		Name: fmt.Sprintf("hammer%d", idx), Class: Attacker,
+		MPKI: 1000, AggressorRows: 10, AggressorBanks: 16, Seed: seed,
+	}
+}
+
+// RotatingAttackerSpec returns one thread of a §5.2 rotating attack: the
+// attack alternates among `slots` threads, each active for `period`
+// accesses at a time. All rotating threads hammer the same aggressor
+// pattern shape in their own address slices.
+func RotatingAttackerSpec(index, slots int, period int64, seed int64) Spec {
+	s := AttackerSpec(index, seed)
+	s.Name = fmt.Sprintf("rothammer%d/%d", index, slots)
+	s.RotatePeriod = period
+	s.RotateSlots = slots
+	s.RotateIndex = index
+	return s
+}
+
+// threadRowStride separates the row regions of different hardware threads
+// so that threads do not share DRAM rows (§5.3 discusses shared rows as an
+// attack surface; the evaluation keeps address spaces disjoint).
+const threadRowStride = 16384
+
+// rowShiftLines is the number of line-address bits below the row field
+// under the MOP mapping of the Table 1 topology: 2 (MOP block) + 1 (bank)
+// + 3 (bank group) + 1 (rank) + 5 (column high) = 12.
+const rowShiftLines = 12
+
+// BaseLine returns the first line address of a thread's address space.
+func BaseLine(thread int) uint64 {
+	return uint64(thread) * threadRowStride << rowShiftLines
+}
+
+// Generator produces an infinite trace for one thread from a Spec.
+// It implements breakhammer/internal/cpu.Trace.
+type Generator struct {
+	spec   Spec
+	rng    *rand.Rand
+	base   uint64
+	cursor uint64
+	avgGap int64
+
+	// Attacker state.
+	aggressors []uint64
+	aggIdx     int
+	accesses   int64 // accesses emitted (drives rotation phase)
+
+	// Benign hot-row lines (cache-set-colliding, like aggressors).
+	hotLines []uint64
+}
+
+// NewGenerator builds the trace generator for a spec bound to a hardware
+// thread (the thread selects the disjoint address-space slice).
+func NewGenerator(spec Spec, thread int) *Generator {
+	g := &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed ^ int64(thread)<<17 ^ 0x6265)),
+		base: BaseLine(thread),
+	}
+	if spec.MPKI > 0 {
+		gap := 1000.0/spec.MPKI - 1
+		if gap < 0 {
+			gap = 0
+		}
+		g.avgGap = int64(gap)
+	}
+	if spec.Class == Attacker {
+		g.buildAggressors()
+	}
+	if spec.HotFrac > 0 && spec.HotRows > 0 {
+		g.buildHotLines()
+	}
+	return g
+}
+
+// buildHotLines constructs the benign hot-row lines with the same
+// set-colliding layout as attacker lines, placed in a different row region
+// (rows 512+) so hot rows never coincide with attack rows.
+func (g *Generator) buildHotLines() {
+	g.hotLines = make([]uint64, g.spec.HotRows)
+	firstRow := uint64(512)
+	for i := range g.hotLines {
+		row := firstRow + uint64(i)*4
+		g.hotLines[i] = g.base + row<<rowShiftLines
+	}
+}
+
+// HotLines exposes the hot-row lines (testing and characterisation).
+func (g *Generator) HotLines() []uint64 { return g.hotLines }
+
+// buildAggressors constructs per-bank LLC-set-colliding lines across
+// multiple banks. Under the MOP layout, line = base + row<<12 + bank<<2:
+// bits 2-6 select (bank, bank group, rank), so bank b maps to b<<2; the
+// LLC set index (line mod 16384) then depends only on (row mod 4) and the
+// bank bits — rows with a stride of 4 collide in one set per bank.
+// AggressorRows > associativity defeats LRU: every access misses.
+// The access order interleaves banks (bank index changes fastest) so the
+// attack keeps many banks busy concurrently.
+func (g *Generator) buildAggressors() {
+	rows := g.spec.AggressorRows
+	if rows < 1 {
+		rows = 10
+	}
+	banks := g.spec.AggressorBanks
+	if banks < 1 {
+		banks = 16
+	}
+	g.aggressors = make([]uint64, 0, rows*banks)
+	firstRow := uint64(128) // away from the bank edge so victims exist on both sides
+	for j := 0; j < rows; j++ {
+		row := firstRow + uint64(j)*4
+		for b := 0; b < banks; b++ {
+			g.aggressors = append(g.aggressors, g.base+row<<rowShiftLines+uint64(b)<<2)
+		}
+	}
+}
+
+// AggressorLines exposes the attack lines (testing and characterisation).
+func (g *Generator) AggressorLines() []uint64 { return g.aggressors }
+
+// Next implements cpu.Trace.
+func (g *Generator) Next() (bubbles int64, line uint64, write bool) {
+	if g.spec.Class == Attacker {
+		g.accesses++
+		if g.spec.RotateSlots > 1 && g.spec.RotatePeriod > 0 {
+			phase := (g.accesses / g.spec.RotatePeriod) % int64(g.spec.RotateSlots)
+			if phase != int64(g.spec.RotateIndex) {
+				// Off-duty slot: idle. Each off-duty record burns a small
+				// bubble batch plus one harmless access in the thread's
+				// own slice, so an off phase of RotatePeriod records
+				// spans wall-clock time comparable to an on phase.
+				return 64, g.base, false
+			}
+		}
+		line = g.aggressors[g.aggIdx]
+		g.aggIdx = (g.aggIdx + 1) % len(g.aggressors)
+		return 0, line, false
+	}
+	if g.avgGap > 0 {
+		bubbles = g.rng.Int63n(2*g.avgGap + 1)
+	}
+	if len(g.hotLines) > 0 && g.rng.Float64() < g.spec.HotFrac {
+		line = g.hotLines[g.rng.Intn(len(g.hotLines))]
+		write = g.rng.Float64() < g.spec.WriteFrac
+		return bubbles, line, write
+	}
+	if g.rng.Float64() < g.spec.Locality {
+		g.cursor++
+	} else {
+		g.cursor = uint64(g.rng.Int63n(int64(g.spec.FootprintLines)))
+	}
+	if g.cursor >= uint64(g.spec.FootprintLines) {
+		g.cursor = 0
+	}
+	write = g.rng.Float64() < g.spec.WriteFrac
+	return bubbles, g.base + g.cursor, write
+}
+
+// Mix is a named multi-programmed workload: one Spec per core.
+type Mix struct {
+	Name  string
+	Specs []Spec
+}
+
+// HasAttacker reports whether any spec in the mix is an attacker.
+func (m Mix) HasAttacker() bool {
+	for _, s := range m.Specs {
+		if !s.Benign() {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseMix builds a mix from its letters (e.g. "HHMA"), using seed to
+// individualise the member traces.
+func ParseMix(letters string, seed int64) (Mix, error) {
+	m := Mix{Name: letters}
+	for i := 0; i < len(letters); i++ {
+		c, err := ParseClass(letters[i])
+		if err != nil {
+			return Mix{}, err
+		}
+		m.Specs = append(m.Specs, ClassSpec(c, i, seed+int64(i)*7919))
+	}
+	return m, nil
+}
+
+// AttackMixes returns the paper's six attacker mix groups (§8.1),
+// n variants each, seeded deterministically.
+func AttackMixes(n int) []Mix {
+	return buildMixes([]string{"HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA"}, n)
+}
+
+// BenignMixes returns the paper's six all-benign mix groups (§8.2).
+func BenignMixes(n int) []Mix {
+	return buildMixes([]string{"HHHH", "HHMM", "MMMM", "HHLL", "MMLL", "LLLL"}, n)
+}
+
+func buildMixes(groups []string, n int) []Mix {
+	var mixes []Mix
+	for gi, g := range groups {
+		for v := 0; v < n; v++ {
+			seed := int64(gi*1000+v)*104729 + 1
+			m, err := ParseMix(g, seed)
+			if err != nil {
+				panic(err) // group strings are compile-time constants
+			}
+			m.Name = fmt.Sprintf("%s-%d", g, v)
+			mixes = append(mixes, m)
+		}
+	}
+	return mixes
+}

@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"testing"
+
+	"breakhammer/internal/dram"
+	"breakhammer/internal/memctrl"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := map[byte]Class{'H': High, 'M': Medium, 'L': Low, 'A': Attacker,
+		'h': High, 'a': Attacker}
+	for letter, want := range cases {
+		got, err := ParseClass(letter)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = (%v, %v), want %v", letter, got, err, want)
+		}
+	}
+	if _, err := ParseClass('X'); err == nil {
+		t.Error("ParseClass('X') did not error")
+	}
+}
+
+func TestClassStringRoundTrip(t *testing.T) {
+	for _, c := range []Class{Low, Medium, High, Attacker} {
+		got, err := ParseClass(c.String()[0])
+		if err != nil || got != c {
+			t.Errorf("round trip failed for %v", c)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("HHMA", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Specs) != 4 {
+		t.Fatalf("specs = %d, want 4", len(m.Specs))
+	}
+	if !m.HasAttacker() {
+		t.Error("HHMA must contain an attacker")
+	}
+	if m.Specs[0].Class != High || m.Specs[3].Class != Attacker {
+		t.Error("class order not preserved")
+	}
+	if _, err := ParseMix("HHXZ", 1); err == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestMixGroups(t *testing.T) {
+	am := AttackMixes(2)
+	if len(am) != 12 {
+		t.Errorf("AttackMixes(2) = %d mixes, want 12 (6 groups x 2)", len(am))
+	}
+	for _, m := range am {
+		if !m.HasAttacker() {
+			t.Errorf("attack mix %s has no attacker", m.Name)
+		}
+	}
+	bm := BenignMixes(2)
+	if len(bm) != 12 {
+		t.Errorf("BenignMixes(2) = %d mixes, want 12", len(bm))
+	}
+	for _, m := range bm {
+		if m.HasAttacker() {
+			t.Errorf("benign mix %s contains an attacker", m.Name)
+		}
+	}
+}
+
+func TestMixesAreDeterministic(t *testing.T) {
+	a := AttackMixes(3)
+	b := AttackMixes(3)
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Specs[0].Seed != b[i].Specs[0].Seed {
+			t.Fatal("mixes are not deterministic")
+		}
+	}
+}
+
+func TestBenignGeneratorRespectsFootprintAndBase(t *testing.T) {
+	spec := ClassSpec(Medium, 0, 42)
+	g := NewGenerator(spec, 2)
+	base := BaseLine(2)
+	hot := map[uint64]bool{}
+	for _, l := range g.HotLines() {
+		hot[l] = true
+	}
+	for i := 0; i < 10000; i++ {
+		_, line, _ := g.Next()
+		if hot[line] {
+			continue
+		}
+		if line < base || line >= base+uint64(spec.FootprintLines) {
+			t.Fatalf("line %#x outside thread slice [%#x, %#x)", line, base,
+				base+uint64(spec.FootprintLines))
+		}
+	}
+}
+
+func TestHotLinesSetCollidingAndDisjointFromAttack(t *testing.T) {
+	spec := ClassSpec(High, 0, 3)
+	g := NewGenerator(spec, 1)
+	hot := g.HotLines()
+	if len(hot) != spec.HotRows {
+		t.Fatalf("hot lines = %d, want %d", len(hot), spec.HotRows)
+	}
+	const llcSets = 16384
+	set0 := hot[0] % llcSets
+	mapper := memctrl.NewMOPMapper(dram.Default())
+	attackRows := map[int]bool{}
+	ag := NewGenerator(AttackerSpec(0, 3), 1)
+	for _, l := range ag.AggressorLines() {
+		attackRows[mapper.Map(l).Row] = true
+	}
+	for _, l := range hot {
+		if l%llcSets != set0 {
+			t.Errorf("hot line %#x not set-colliding", l)
+		}
+		if attackRows[mapper.Map(l).Row] {
+			t.Errorf("hot row %d coincides with an attack row", mapper.Map(l).Row)
+		}
+	}
+}
+
+func TestHotFractionObserved(t *testing.T) {
+	spec := ClassSpec(High, 0, 8)
+	g := NewGenerator(spec, 0)
+	hot := map[uint64]bool{}
+	for _, l := range g.HotLines() {
+		hot[l] = true
+	}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		_, line, _ := g.Next()
+		if hot[line] {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < spec.HotFrac-0.05 || frac > spec.HotFrac+0.05 {
+		t.Errorf("hot fraction = %g, want ≈ %g", frac, spec.HotFrac)
+	}
+}
+
+func TestBenignGeneratorMPKI(t *testing.T) {
+	spec := ClassSpec(High, 0, 7)
+	g := NewGenerator(spec, 0)
+	var insts, accesses int64
+	for i := 0; i < 20000; i++ {
+		b, _, _ := g.Next()
+		insts += b + 1
+		accesses++
+	}
+	mpki := float64(accesses) / float64(insts) * 1000
+	if mpki < spec.MPKI*0.8 || mpki > spec.MPKI*1.2 {
+		t.Errorf("generated MPKI = %g, want ≈ %g", mpki, spec.MPKI)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	spec := ClassSpec(Medium, 0, 3)
+	g := NewGenerator(spec, 0)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, _, w := g.Next(); w {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < spec.WriteFrac-0.05 || frac > spec.WriteFrac+0.05 {
+		t.Errorf("write fraction = %g, want ≈ %g", frac, spec.WriteFrac)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec := ClassSpec(High, 1, 99)
+	g1 := NewGenerator(spec, 0)
+	g2 := NewGenerator(spec, 0)
+	for i := 0; i < 1000; i++ {
+		b1, l1, w1 := g1.Next()
+		b2, l2, w2 := g2.Next()
+		if b1 != b2 || l1 != l2 || w1 != w2 {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestThreadSlicesDisjoint(t *testing.T) {
+	spec := ClassSpec(High, 0, 5)
+	if BaseLine(1) < BaseLine(0)+uint64(spec.FootprintLines) {
+		t.Error("thread address slices overlap")
+	}
+}
+
+func TestAttackerLinesBankParallelSetColliding(t *testing.T) {
+	spec := AttackerSpec(0, 11)
+	g := NewGenerator(spec, 3)
+	lines := g.AggressorLines()
+	if len(lines) != spec.AggressorRows*spec.AggressorBanks {
+		t.Fatalf("aggressors = %d, want %d", len(lines), spec.AggressorRows*spec.AggressorBanks)
+	}
+	mapper := memctrl.NewMOPMapper(dram.Default())
+	const llcSets = 16384
+
+	banks := map[int]map[int]bool{}       // bank -> set of rows
+	bankSets := map[int]map[uint64]bool{} // bank -> LLC sets used
+	for _, l := range lines {
+		a := mapper.Map(l)
+		if banks[a.Bank] == nil {
+			banks[a.Bank] = map[int]bool{}
+			bankSets[a.Bank] = map[uint64]bool{}
+		}
+		banks[a.Bank][a.Row] = true
+		bankSets[a.Bank][l%llcSets] = true
+	}
+	if len(banks) != spec.AggressorBanks {
+		t.Errorf("distinct banks = %d, want %d", len(banks), spec.AggressorBanks)
+	}
+	for b, rows := range banks {
+		if len(rows) != spec.AggressorRows {
+			t.Errorf("bank %d rows = %d, want %d", b, len(rows), spec.AggressorRows)
+		}
+		if len(bankSets[b]) != 1 {
+			t.Errorf("bank %d lines spread over %d LLC sets, want 1 (eviction set)",
+				b, len(bankSets[b]))
+		}
+	}
+}
+
+func TestAttackerTraceIsPureMemoryAndBankInterleaved(t *testing.T) {
+	spec := AttackerSpec(0, 1)
+	g := NewGenerator(spec, 0)
+	mapper := memctrl.NewMOPMapper(dram.Default())
+	lastBank := -1
+	for i := 0; i < 200; i++ {
+		b, line, w := g.Next()
+		if b != 0 {
+			t.Fatal("attacker trace must have no bubbles")
+		}
+		if w {
+			t.Fatal("attacker trace must be read-only")
+		}
+		bank := mapper.Map(line).Bank
+		if bank == lastBank {
+			t.Fatalf("consecutive accesses to the same bank at %d (no parallelism)", i)
+		}
+		lastBank = bank
+	}
+}
+
+func TestClassSpecVariation(t *testing.T) {
+	a := ClassSpec(High, 0, 1)
+	b := ClassSpec(High, 1, 2)
+	if a.MPKI == b.MPKI && a.Seed == b.Seed {
+		t.Error("same-class applications must vary")
+	}
+}
+
+func TestRotatingAttackerAlternates(t *testing.T) {
+	period := int64(50)
+	g0 := NewGenerator(RotatingAttackerSpec(0, 2, period, 5), 2)
+	g1 := NewGenerator(RotatingAttackerSpec(1, 2, period, 6), 3)
+
+	hammered := func(g *Generator, n int) (active, idle int) {
+		agg := map[uint64]bool{}
+		for _, l := range g.AggressorLines() {
+			agg[l] = true
+		}
+		for i := 0; i < n; i++ {
+			_, line, _ := g.Next()
+			if agg[line] {
+				active++
+			} else {
+				idle++
+			}
+		}
+		return active, idle
+	}
+	a0, i0 := hammered(g0, int(4*period))
+	a1, i1 := hammered(g1, int(4*period))
+	// Each thread is active roughly half the time.
+	if a0 == 0 || i0 == 0 || a1 == 0 || i1 == 0 {
+		t.Fatalf("rotation not alternating: t0=(%d,%d) t1=(%d,%d)", a0, i0, a1, i1)
+	}
+	lo, hi := int(period)*2-int(period)/2, int(period)*2+int(period)/2
+	if a0 < lo || a0 > hi {
+		t.Errorf("thread 0 active %d of %d accesses, want ≈ half", a0, 4*period)
+	}
+}
+
+func TestRotatingAttackersComplementary(t *testing.T) {
+	// With the same phase arithmetic, slot 0 and slot 1 threads must not
+	// hammer simultaneously (access-count aligned).
+	period := int64(10)
+	g0 := NewGenerator(RotatingAttackerSpec(0, 2, period, 5), 0)
+	g1 := NewGenerator(RotatingAttackerSpec(1, 2, period, 5), 1)
+	agg0 := map[uint64]bool{}
+	for _, l := range g0.AggressorLines() {
+		agg0[l] = true
+	}
+	agg1 := map[uint64]bool{}
+	for _, l := range g1.AggressorLines() {
+		agg1[l] = true
+	}
+	for i := 0; i < int(6*period); i++ {
+		_, l0, _ := g0.Next()
+		_, l1, _ := g1.Next()
+		if agg0[l0] && agg1[l1] {
+			t.Fatalf("both threads hammering at access %d", i)
+		}
+	}
+}
