@@ -347,3 +347,33 @@ func BenchmarkAblationAddressMapMOP(b *testing.B) {
 func BenchmarkAblationAddressMapRowInterleaved(b *testing.B) {
 	benchRunWS(b, func(c *sim.Config) { c.AddressMap = "rowint" })
 }
+
+// --- Simulation-loop benchmarks (event-batched vs every-cycle) ---
+
+// The skip-ahead scheduler batches provably idle spans: on a cycle where
+// no component makes progress, the loop jumps straight to the earliest
+// wake-up signal and stops ticking individually stalled cores. Both
+// loops produce identical simulations (sim.TestSkipAheadMatchesEveryCycle
+// asserts cycle-exact equality); these two benchmarks measure the
+// wall-clock difference on the standard attack-mix run.
+func BenchmarkLoopSkipAhead(b *testing.B) {
+	benchRunWS(b, func(c *sim.Config) { c.DisableSkipAhead = false })
+}
+
+func BenchmarkLoopEveryCycle(b *testing.B) {
+	benchRunWS(b, func(c *sim.Config) { c.DisableSkipAhead = true })
+}
+
+// --- Multi-channel scaling (the memsys layer) ---
+
+// benchChannels runs the standard attack mix on an N-channel memory
+// system: lines interleave MOP-blocks across channels, each channel has
+// its own controller, device and mitigation instance, and BreakHammer
+// attributes activations across all of them.
+func benchChannels(b *testing.B, channels int) {
+	benchRunWS(b, func(c *sim.Config) { c.Channels = channels })
+}
+
+func BenchmarkChannels1(b *testing.B) { benchChannels(b, 1) }
+func BenchmarkChannels2(b *testing.B) { benchChannels(b, 2) }
+func BenchmarkChannels4(b *testing.B) { benchChannels(b, 4) }

@@ -20,14 +20,15 @@ func main() {
 	log.SetPrefix("bhsim: ")
 
 	var (
-		mixStr  = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core")
-		mech    = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
-		nrh     = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
-		bh      = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
-		insts   = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		paper   = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
-		verbose = flag.Bool("v", false, "print per-thread detail")
+		mixStr   = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core")
+		mech     = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
+		nrh      = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
+		bh       = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
+		channels = flag.Int("channels", 1, "memory channels (power of two; each gets its own controller, DRAM device and mechanism instance)")
+		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		paper    = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
+		verbose  = flag.Bool("v", false, "print per-thread detail")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	cfg.Mechanism = *mech
 	cfg.NRH = *nrh
 	cfg.BreakHammer = *bh
+	cfg.Channels = *channels
 	cfg.Seed = *seed
 	if *insts > 0 {
 		cfg.TargetInsts = *insts
@@ -52,7 +54,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("mix=%s mech=%s nrh=%d breakhammer=%v\n", mix.Name, *mech, *nrh, *bh)
+	fmt.Printf("mix=%s mech=%s nrh=%d breakhammer=%v channels=%d\n", mix.Name, *mech, *nrh, *bh, *channels)
+	if *channels > 1 {
+		for ch, st := range res.MCChannels {
+			fmt.Printf("  channel %d: ACTs=%d VRR=%d RFM=%d REF=%d\n",
+				ch, st.TotalACTs, st.VRRs, st.RFMs, st.Refreshes)
+		}
+	}
 	fmt.Printf("cycles=%d simulated=%.3f ms\n", res.Cycles, res.Seconds*1e3)
 	fmt.Printf("weighted speedup (benign) = %.4f\n", res.WS)
 	fmt.Printf("unfairness (max benign slowdown) = %.4f\n", res.Unfairness)

@@ -31,14 +31,15 @@ func main() {
 	log.SetPrefix("bhsweep: ")
 
 	var (
-		figs   = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6 or 'all'")
-		mixes  = flag.Int("mixes", 1, "workload mixes per group (paper: 15)")
-		insts  = flag.Int64("insts", 0, "instructions per benign core (0 = default)")
-		nrhs   = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
-		mechs  = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of ASCII")
-		outDir = flag.String("out", "", "write one file per experiment into this directory")
-		quick  = flag.Bool("quick", false, "minimal smoke-test sweep")
+		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6 or 'all'")
+		mixes    = flag.Int("mixes", 1, "workload mixes per group (paper: 15)")
+		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = default)")
+		channels = flag.Int("channels", 1, "memory channels for every experiment point (power of two)")
+		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
+		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		outDir   = flag.String("out", "", "write one file per experiment into this directory")
+		quick    = flag.Bool("quick", false, "minimal smoke-test sweep")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		opts = exp.QuickOptions()
 	}
 	opts.MixesPerGroup = *mixes
+	opts.Base.Channels = *channels
 	if *insts > 0 {
 		opts.Base.TargetInsts = *insts
 	}

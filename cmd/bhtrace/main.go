@@ -23,12 +23,13 @@ func main() {
 	log.SetPrefix("bhtrace: ")
 
 	var (
-		class   = flag.String("class", "H", "workload class letter: H, M, L or A")
-		n       = flag.Int("n", 20, "records to dump")
-		seed    = flag.Int64("seed", 1, "trace seed")
-		thread  = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
-		summary = flag.Bool("summary", false, "print a characterisation summary instead of records")
-		samples = flag.Int("samples", 100000, "accesses to sample for -summary")
+		class    = flag.String("class", "H", "workload class letter: H, M, L or A")
+		n        = flag.Int("n", 20, "records to dump")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		thread   = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
+		channels = flag.Int("channels", 1, "memory channels for the address decode (power of two)")
+		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records")
+		samples  = flag.Int("samples", 100000, "accesses to sample for -summary")
 	)
 	flag.Parse()
 
@@ -38,12 +39,12 @@ func main() {
 	}
 	spec := workload.ClassSpec(c, 0, *seed)
 	gen := workload.NewGenerator(spec, *thread)
-	mapper := memctrl.NewMOPMapper(dram.Default())
+	mapper := memctrl.NewChannelMOPMapper(dram.Default(), *channels)
 
 	if !*summary {
 		fmt.Printf("# workload=%s class=%s mpki=%g locality=%g footprint=%d lines\n",
 			spec.Name, spec.Class, spec.MPKI, spec.Locality, spec.FootprintLines)
-		fmt.Println("# bubbles  line-addr      op  bank  row    col")
+		fmt.Println("# bubbles  line-addr      op  ch  bank  row    col")
 		for i := 0; i < *n; i++ {
 			bubbles, line, write := gen.Next()
 			op := "R"
@@ -51,14 +52,15 @@ func main() {
 				op = "W"
 			}
 			a := mapper.Map(line)
-			fmt.Printf("%9d  %#012x  %s   %4d  %5d  %3d\n", bubbles, line, op, a.Bank, a.Row, a.Col)
+			fmt.Printf("%9d  %#012x  %s  %2d  %4d  %5d  %3d\n", bubbles, line, op, a.Channel, a.Bank, a.Row, a.Col)
 		}
 		return
 	}
 
 	var insts, accesses, writes int64
-	banks := map[int]int64{}
-	rowACTs := map[[2]int]int64{}
+	chans := map[int]int64{}
+	banks := map[[2]int]int64{}
+	rowACTs := map[[3]int]int64{}
 	for i := 0; i < *samples; i++ {
 		bubbles, line, write := gen.Next()
 		insts += bubbles + 1
@@ -67,8 +69,9 @@ func main() {
 			writes++
 		}
 		a := mapper.Map(line)
-		banks[a.Bank]++
-		rowACTs[[2]int{a.Bank, a.Row}]++
+		chans[a.Channel]++
+		banks[[2]int{a.Channel, a.Bank}]++
+		rowACTs[[3]int{a.Channel, a.Bank, a.Row}]++
 	}
 	var hot64, hot512 int
 	var maxRow int64
@@ -87,6 +90,7 @@ func main() {
 	fmt.Printf("accesses        %d over %d instructions (MPKI %.1f)\n",
 		accesses, insts, float64(accesses)/float64(insts)*1000)
 	fmt.Printf("write fraction  %.3f\n", float64(writes)/float64(accesses))
+	fmt.Printf("channels used   %d of %d\n", len(chans), *channels)
 	fmt.Printf("banks touched   %d\n", len(banks))
 	fmt.Printf("distinct rows   %d\n", len(rowACTs))
 	fmt.Printf("rows >=64 acc   %d\n", hot64)

@@ -1,0 +1,3 @@
+module breakhammer
+
+go 1.21

@@ -289,11 +289,16 @@ func (l *LLC) writeback(lineAddr uint64) {
 }
 
 // Tick retries writebacks that the memory controller previously rejected.
-func (l *LLC) Tick() {
+// It reports whether any writeback drained (progress for the skip-ahead
+// simulation loop).
+func (l *LLC) Tick() bool {
+	drained := false
 	for len(l.pendingWB) > 0 {
 		if !l.backend.EnqueueWrite(l.pendingWB[0], 0) {
-			return
+			return drained
 		}
 		l.pendingWB = l.pendingWB[1:]
+		drained = true
 	}
+	return drained
 }

@@ -128,14 +128,21 @@ func (b *BreakHammer) OnActivate(thread int) {
 }
 
 // Tick rotates the throttling window when it expires. It is cheap (one
-// comparison) and intended to be called every cycle.
-func (b *BreakHammer) Tick(now int64) {
+// comparison) and intended to be called every cycle. It reports whether a
+// rotation happened (progress for the skip-ahead simulation loop, since a
+// rotation can restore quotas and unblock throttled threads).
+func (b *BreakHammer) Tick(now int64) bool {
 	if now < b.windowEnd {
-		return
+		return false
 	}
 	b.rotate()
 	b.windowEnd += b.p.Window
+	return true
 }
+
+// NextWindow returns the cycle at which the current throttling window
+// expires; the skip-ahead loop never jumps past it.
+func (b *BreakHammer) NextWindow() int64 { return b.windowEnd }
 
 // rotate ends a throttling window: quotas of threads that stayed clean are
 // restored, the active counter set is reset, and the trained standby set

@@ -146,10 +146,33 @@ func (c *Core) IPC(now int64) float64 {
 }
 
 // Tick advances the core by one memory-controller cycle: retire from the
-// window head, then fetch/issue new instructions.
-func (c *Core) Tick(now int64) {
+// window head, then fetch/issue new instructions. It reports whether the
+// core made progress — retired, issued, or fetched a new trace record —
+// so the skip-ahead simulation loop can detect a fully stalled core. A
+// tick that only bumps stall counters is not progress.
+func (c *Core) Tick(now int64) bool {
+	retired, count, bubbles, pending := c.stats.Retired, c.count, c.bubbles, c.pending
 	c.retire(now)
 	c.issue(now)
+	return c.stats.Retired != retired || c.count != count ||
+		c.bubbles != bubbles || c.pending != pending
+}
+
+// NextWake returns the next cycle at which this core could make progress
+// on its own (the head instruction's known completion time), assuming the
+// preceding Tick made no progress. Completions that arrive via memory
+// callbacks have no known time; those wake the system through memory
+// controller progress instead. Returns a very large value when the core
+// has no self-scheduled wake-up.
+func (c *Core) NextWake(now int64) int64 {
+	if c.count == 0 {
+		return now + 1 // empty window: the core will try to issue next cycle
+	}
+	s := c.window[c.head]
+	if s.readyAt > now {
+		return s.readyAt
+	}
+	return int64(1) << 62
 }
 
 func (c *Core) retire(now int64) {

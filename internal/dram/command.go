@@ -31,13 +31,17 @@ func (c Command) String() string {
 	return commandNames[c]
 }
 
-// Addr locates the target of a command inside one channel.
+// Addr locates the target of a command. Channel selects the memory
+// channel in a multi-channel system; the Device models a single channel
+// and ignores it (routing happens in internal/memsys before a command
+// reaches a Device).
 type Addr struct {
-	Bank int // global bank index (rank * banksPerRank + group * banksPerGroup + bank)
-	Row  int
-	Col  int
+	Channel int // memory channel (0 in single-channel systems)
+	Bank    int // global bank index (rank * banksPerRank + group * banksPerGroup + bank)
+	Row     int
+	Col     int
 }
 
 func (a Addr) String() string {
-	return fmt.Sprintf("bank=%d row=%d col=%d", a.Bank, a.Row, a.Col)
+	return fmt.Sprintf("ch=%d bank=%d row=%d col=%d", a.Channel, a.Bank, a.Row, a.Col)
 }

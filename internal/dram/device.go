@@ -398,3 +398,67 @@ func (d *Device) BankBlockedUntil(bank int) int64 {
 	}
 	return until
 }
+
+// NextRelease returns the earliest cycle strictly after now at which any
+// timing constraint held by the device expires — a sound lower bound on
+// the next cycle a command that is illegal now could become legal, given
+// that no further commands issue in between. Every CanIssue check compares
+// now against a timestamp derived from device state, so with the state
+// frozen, legality can only change at one of these expiry moments. The
+// skip-ahead simulation loop jumps to this cycle when the whole system
+// stalls. Returns a very large value when no constraint is pending.
+func (d *Device) NextRelease(now int64) int64 {
+	const horizon = int64(1) << 62
+	next := horizon
+	take := func(ts int64) {
+		if ts > now && ts < next {
+			next = ts
+		}
+	}
+	t := &d.timing
+	for i := range d.banks {
+		b := &d.banks[i]
+		take(b.preReady)
+		take(b.blocked)
+		if b.hasOpen {
+			take(b.actAt + t.RCD) // RD/WR become legal
+			take(b.actAt + t.RAS) // PRE becomes legal
+			if b.lastRD != neverIssued {
+				take(b.lastRD + t.RTP)
+			}
+			if b.lastWRend != neverIssued {
+				take(b.lastWRend + t.WR)
+			}
+		}
+	}
+	for i := range d.ranks {
+		r := &d.ranks[i]
+		take(r.refUntil)
+		if r.lastACT != neverIssued {
+			take(r.lastACT + t.RRDS)
+			take(r.lastACT + t.RRDL)
+		}
+		for _, ts := range r.actWindow {
+			if ts != neverIssued {
+				take(ts + t.FAW)
+			}
+		}
+	}
+	// Channel-level column constraints: data-bus release and CCD/turnaround.
+	take(d.busFreeAt - t.CL)
+	take(d.busFreeAt - t.CWL)
+	if d.lastRD != neverIssued {
+		take(d.lastRD + t.CCDS)
+		take(d.lastRD + t.CCDL)
+		take(d.lastRD + t.RTW)
+	}
+	if d.lastWR != neverIssued {
+		take(d.lastWR + t.CCDS)
+		take(d.lastWR + t.CCDL)
+	}
+	if d.lastWRend != neverIssued {
+		take(d.lastWRend + t.WTRS)
+		take(d.lastWRend + t.WTRL)
+	}
+	return next
+}

@@ -109,8 +109,12 @@ func Table1(cfg sim.Config) Table {
 		cfg.Cache.LineBytes, cfg.Cache.Ways, cfg.Cache.SizeBytes>>20, cfg.Cache.MSHRs))
 	t.AddRow("Memory Controller", fmt.Sprintf("%d-entry read / %d-entry write queues; FR-FCFS+Cap with Cap=%d; MOP address mapping",
 		cfg.MC.ReadQueue, cfg.MC.WriteQueue, cfg.MC.Cap))
-	t.AddRow("Main Memory", fmt.Sprintf("DDR5, 1 channel, %d ranks, %d bank groups, %d banks/group, %dK rows/bank",
-		cfg.DRAM.Ranks, cfg.DRAM.BankGroups, cfg.DRAM.BanksPerGroup, cfg.DRAM.RowsPerBank>>10))
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = 1
+	}
+	t.AddRow("Main Memory", fmt.Sprintf("DDR5, %d channel(s), %d ranks, %d bank groups, %d banks/group, %dK rows/bank",
+		channels, cfg.DRAM.Ranks, cfg.DRAM.BankGroups, cfg.DRAM.BanksPerGroup, cfg.DRAM.RowsPerBank>>10))
 	return t
 }
 

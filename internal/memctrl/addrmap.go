@@ -8,31 +8,49 @@ package memctrl
 import "breakhammer/internal/dram"
 
 // AddressMapper translates a cache-line address into a DRAM location.
+// Channel-aware mappers set Addr.Channel; single-channel mappers leave it
+// at zero.
 type AddressMapper interface {
 	Map(line uint64) dram.Addr
+	// Channels reports how many memory channels the mapper spreads lines
+	// across (1 for single-channel layouts).
+	Channels() int
 }
 
 // MOPMapper implements the Minimalist Open-Page mapping (Kaseridis et al.,
 // MICRO 2011; Table 1's address mapping). Consecutive cache lines fill a
-// small per-row block (the MOP block) before striping across banks, bank
-// groups and ranks, so that a core with spatial locality gets a few row
-// hits per row visit while bank-level parallelism stays high.
+// small per-row block (the MOP block) before striping across channels,
+// banks, bank groups and ranks, so that a core with spatial locality gets
+// a few row hits per row visit while bank- and channel-level parallelism
+// stay high. With channels > 1 this is the MOP-across-channels layout:
+// consecutive MOP blocks land on different channels.
 //
 // Line-address bit layout, LSB first:
 //
-//	[ mopBits ][ bank ][ bank group ][ rank ][ column high ][ row ]
+//	[ mopBits ][ channel ][ bank ][ bank group ][ rank ][ column high ][ row ]
+//
+// With one channel the channel field is zero bits wide and the layout is
+// identical to the single-channel MOP layout.
 type MOPMapper struct {
 	cfg     dram.Config
 	mopBits uint
 	mopMask uint64
 
-	bankBits, groupBits, rankBits, colHiBits uint
+	chanBits, bankBits, groupBits, rankBits, colHiBits uint
 }
 
-// NewMOPMapper builds a MOP mapper with a block of 4 consecutive lines.
+// NewMOPMapper builds a single-channel MOP mapper with a block of 4
+// consecutive lines.
 func NewMOPMapper(cfg dram.Config) *MOPMapper {
+	return NewChannelMOPMapper(cfg, 1)
+}
+
+// NewChannelMOPMapper builds a MOP-across-channels mapper. channels must
+// be a power of two.
+func NewChannelMOPMapper(cfg dram.Config, channels int) *MOPMapper {
 	m := &MOPMapper{cfg: cfg, mopBits: 2}
 	m.mopMask = (1 << m.mopBits) - 1
+	m.chanBits = log2(channels)
 	m.bankBits = log2(cfg.BanksPerGroup)
 	m.groupBits = log2(cfg.BankGroups)
 	m.rankBits = log2(cfg.Ranks)
@@ -45,6 +63,9 @@ func NewMOPMapper(cfg dram.Config) *MOPMapper {
 	return m
 }
 
+// Channels implements AddressMapper.
+func (m *MOPMapper) Channels() int { return 1 << m.chanBits }
+
 func log2(v int) uint {
 	var b uint
 	for 1<<b < v {
@@ -54,23 +75,33 @@ func log2(v int) uint {
 }
 
 // RowInterleavedMapper implements the classic RoBaRaCoCh-style layout:
-// consecutive cache lines walk the full column space of one row before
-// moving to the next bank. It maximises row-buffer hits for streaming
-// access at the cost of bank-level parallelism — the baseline MOP is
-// compared against (an ablation benchmark covers the difference).
+// consecutive cache lines stripe across channels, then walk the full
+// column space of one row before moving to the next bank. It maximises
+// row-buffer hits for streaming access at the cost of bank-level
+// parallelism — the baseline MOP is compared against (an ablation
+// benchmark covers the difference). RoBaRaCoCh reads MSB-to-LSB as
+// Row|Bank|Rank|Column|Channel, so the channel field sits at the lowest
+// bits.
 //
 // Line-address bit layout, LSB first:
 //
-//	[ column ][ bank ][ bank group ][ rank ][ row ]
+//	[ channel ][ column ][ bank ][ bank group ][ rank ][ row ]
 type RowInterleavedMapper struct {
-	cfg                                    dram.Config
-	colBits, bankBits, groupBits, rankBits uint
+	cfg                                              dram.Config
+	chanBits, colBits, bankBits, groupBits, rankBits uint
 }
 
-// NewRowInterleavedMapper builds the mapper for a topology.
+// NewRowInterleavedMapper builds the single-channel mapper for a topology.
 func NewRowInterleavedMapper(cfg dram.Config) *RowInterleavedMapper {
+	return NewChannelRowInterleavedMapper(cfg, 1)
+}
+
+// NewChannelRowInterleavedMapper builds a RoBaRaCoCh mapper with a
+// channel field. channels must be a power of two.
+func NewChannelRowInterleavedMapper(cfg dram.Config, channels int) *RowInterleavedMapper {
 	return &RowInterleavedMapper{
 		cfg:       cfg,
+		chanBits:  log2(channels),
 		colBits:   log2(cfg.ColumnsPerRow),
 		bankBits:  log2(cfg.BanksPerGroup),
 		groupBits: log2(cfg.BankGroups),
@@ -78,8 +109,13 @@ func NewRowInterleavedMapper(cfg dram.Config) *RowInterleavedMapper {
 	}
 }
 
-// Map decodes a line address into (bank, row, column).
+// Channels implements AddressMapper.
+func (m *RowInterleavedMapper) Channels() int { return 1 << m.chanBits }
+
+// Map decodes a line address into (channel, bank, row, column).
 func (m *RowInterleavedMapper) Map(line uint64) dram.Addr {
+	ch := int(line & ((1 << m.chanBits) - 1))
+	line >>= m.chanBits
 	col := int(line & ((1 << m.colBits) - 1))
 	line >>= m.colBits
 	bank := int(line & ((1 << m.bankBits) - 1))
@@ -89,13 +125,15 @@ func (m *RowInterleavedMapper) Map(line uint64) dram.Addr {
 	rank := int(line & ((1 << m.rankBits) - 1))
 	line >>= m.rankBits
 	row := int(line) % m.cfg.RowsPerBank
-	return dram.Addr{Bank: m.cfg.GlobalBank(rank, group, bank), Row: row, Col: col}
+	return dram.Addr{Channel: ch, Bank: m.cfg.GlobalBank(rank, group, bank), Row: row, Col: col}
 }
 
-// Map decodes a line address into (bank, row, column).
+// Map decodes a line address into (channel, bank, row, column).
 func (m *MOPMapper) Map(line uint64) dram.Addr {
 	colLo := int(line & m.mopMask)
 	line >>= m.mopBits
+	ch := int(line & ((1 << m.chanBits) - 1))
+	line >>= m.chanBits
 	bank := int(line & ((1 << m.bankBits) - 1))
 	line >>= m.bankBits
 	group := int(line & ((1 << m.groupBits) - 1))
@@ -107,8 +145,9 @@ func (m *MOPMapper) Map(line uint64) dram.Addr {
 	row := int(line) % m.cfg.RowsPerBank
 
 	return dram.Addr{
-		Bank: m.cfg.GlobalBank(rank, group, bank),
-		Row:  row,
-		Col:  colHi<<m.mopBits | colLo,
+		Channel: ch,
+		Bank:    m.cfg.GlobalBank(rank, group, bank),
+		Row:     row,
+		Col:     colHi<<m.mopBits | colLo,
 	}
 }

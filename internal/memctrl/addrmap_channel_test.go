@@ -1,0 +1,141 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"breakhammer/internal/dram"
+)
+
+// encodeMOP builds the line address that should decode to the given
+// fields under the MOP-across-channels layout, LSB first:
+// [ mop ][ channel ][ bank ][ group ][ rank ][ colHi ][ row ].
+func encodeMOP(m *MOPMapper, ch, rank, group, bank, row, col int) uint64 {
+	colLo := uint64(col) & m.mopMask
+	colHi := uint64(col) >> m.mopBits
+	line := uint64(row)
+	line = line<<m.colHiBits | colHi
+	line = line<<m.rankBits | uint64(rank)
+	line = line<<m.groupBits | uint64(group)
+	line = line<<m.bankBits | uint64(bank)
+	line = line<<m.chanBits | uint64(ch)
+	line = line<<m.mopBits | colLo
+	return line
+}
+
+// encodeRowInterleaved builds the line for the RoBaRaCoCh layout, LSB
+// first: [ channel ][ column ][ bank ][ group ][ rank ][ row ].
+func encodeRowInterleaved(m *RowInterleavedMapper, ch, rank, group, bank, row, col int) uint64 {
+	line := uint64(row)
+	line = line<<m.rankBits | uint64(rank)
+	line = line<<m.groupBits | uint64(group)
+	line = line<<m.bankBits | uint64(bank)
+	line = line<<m.colBits | uint64(col)
+	line = line<<m.chanBits | uint64(ch)
+	return line
+}
+
+// TestSingleChannelMappersMatchSeedLayout pins the Channels=1 MOP layout
+// to the original single-channel bit assignment for the Table 1 topology,
+// with expectations computed from hand-rolled shifts (2 MOP bits, 1 bank
+// bit, 3 group bits, 1 rank bit, 5 column-high bits — the layout
+// workload.rowShiftLines = 12 depends on). A layout regression that moved
+// any field would break seed equivalence and this test.
+func TestSingleChannelMappersMatchSeedLayout(t *testing.T) {
+	cfg := dram.Default() // 2 ranks, 8 groups, 2 banks/group, 128 cols
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []AddressMapper{NewMOPMapper(cfg), NewChannelMOPMapper(cfg, 1)} {
+		for i := 0; i < 100000; i++ {
+			colLo := rng.Intn(4)
+			bank := rng.Intn(2)
+			group := rng.Intn(8)
+			rank := rng.Intn(2)
+			colHi := rng.Intn(32)
+			row := rng.Intn(cfg.RowsPerBank)
+			line := uint64(colLo) | uint64(bank)<<2 | uint64(group)<<3 |
+				uint64(rank)<<6 | uint64(colHi)<<7 | uint64(row)<<12
+			want := dram.Addr{
+				Channel: 0,
+				Bank:    cfg.GlobalBank(rank, group, bank),
+				Row:     row,
+				Col:     colHi<<2 | colLo,
+			}
+			if got := m.Map(line); got != want {
+				t.Fatalf("line %#x decodes to %v, want seed layout %v", line, got, want)
+			}
+		}
+	}
+	// The row-interleaved seed layout: [col 7][bank 1][group 3][rank 1][row].
+	ri := NewChannelRowInterleavedMapper(cfg, 1)
+	for i := 0; i < 100000; i++ {
+		col := rng.Intn(128)
+		bank := rng.Intn(2)
+		group := rng.Intn(8)
+		rank := rng.Intn(2)
+		row := rng.Intn(cfg.RowsPerBank)
+		line := uint64(col) | uint64(bank)<<7 | uint64(group)<<8 |
+			uint64(rank)<<11 | uint64(row)<<12
+		want := dram.Addr{Bank: cfg.GlobalBank(rank, group, bank), Row: row, Col: col}
+		if got := ri.Map(line); got != want {
+			t.Fatalf("rowint line %#x decodes to %v, want seed layout %v", line, got, want)
+		}
+	}
+}
+
+func TestChannelMapperRoundTrip(t *testing.T) {
+	cfg := dram.Default()
+	rng := rand.New(rand.NewSource(11))
+	for _, channels := range []int{1, 2, 4, 8} {
+		mop := NewChannelMOPMapper(cfg, channels)
+		ri := NewChannelRowInterleavedMapper(cfg, channels)
+		if mop.Channels() != channels || ri.Channels() != channels {
+			t.Fatalf("Channels() = %d/%d, want %d", mop.Channels(), ri.Channels(), channels)
+		}
+		for i := 0; i < 20000; i++ {
+			ch := rng.Intn(channels)
+			rank := rng.Intn(cfg.Ranks)
+			group := rng.Intn(cfg.BankGroups)
+			bank := rng.Intn(cfg.BanksPerGroup)
+			row := rng.Intn(cfg.RowsPerBank)
+			col := rng.Intn(cfg.ColumnsPerRow)
+			want := dram.Addr{Channel: ch, Bank: cfg.GlobalBank(rank, group, bank), Row: row, Col: col}
+			if got := mop.Map(encodeMOP(mop, ch, rank, group, bank, row, col)); got != want {
+				t.Fatalf("MOP channels=%d: decode(encode(%v)) = %v", channels, want, got)
+			}
+			if got := ri.Map(encodeRowInterleaved(ri, ch, rank, group, bank, row, col)); got != want {
+				t.Fatalf("rowint channels=%d: decode(encode(%v)) = %v", channels, want, got)
+			}
+		}
+	}
+}
+
+func TestChannelMapperNoAliasing(t *testing.T) {
+	cfg := dram.Default()
+	for _, channels := range []int{2, 4} {
+		for name, m := range map[string]AddressMapper{
+			"mop":    NewChannelMOPMapper(cfg, channels),
+			"rowint": NewChannelRowInterleavedMapper(cfg, channels),
+		} {
+			seen := make(map[dram.Addr]uint64)
+			chCount := make([]int, channels)
+			const n = 1 << 16 // consecutive lines spanning many rows
+			for line := uint64(0); line < n; line++ {
+				a := m.Map(line)
+				if a.Channel < 0 || a.Channel >= channels {
+					t.Fatalf("%s channels=%d: line %#x maps to channel %d", name, channels, line, a.Channel)
+				}
+				if prev, dup := seen[a]; dup {
+					t.Fatalf("%s channels=%d: lines %#x and %#x alias to %v", name, channels, prev, line, a)
+				}
+				seen[a] = line
+				chCount[a.Channel]++
+			}
+			for ch, cnt := range chCount {
+				if cnt != n/channels {
+					t.Errorf("%s channels=%d: channel %d got %d of %d lines, want even interleave",
+						name, channels, ch, cnt, n)
+				}
+			}
+		}
+	}
+}

@@ -61,6 +61,39 @@ type Stats struct {
 	BackoffCycles int64 // cycles spent with the channel paused by PRAC back-off
 }
 
+// Add accumulates o into s: scalar counters are summed and per-thread
+// slices are summed element-wise (s grows to o's length as needed). The
+// memsys layer uses it to lift per-channel controller stats into merged
+// system-level stats.
+func (s *Stats) Add(o *Stats) {
+	grow := func(dst *[]int64, n int) {
+		for len(*dst) < n {
+			*dst = append(*dst, 0)
+		}
+	}
+	grow(&s.DemandACTs, len(o.DemandACTs))
+	grow(&s.RowHits, len(o.RowHits))
+	grow(&s.ReadsDone, len(o.ReadsDone))
+	for i, v := range o.DemandACTs {
+		s.DemandACTs[i] += v
+	}
+	for i, v := range o.RowHits {
+		s.RowHits[i] += v
+	}
+	for i, v := range o.ReadsDone {
+		s.ReadsDone[i] += v
+	}
+	s.WritesDone += o.WritesDone
+	s.Refreshes += o.Refreshes
+	s.VRRs += o.VRRs
+	s.RFMs += o.RFMs
+	s.Migrations += o.Migrations
+	s.AuxAccesses += o.AuxAccesses
+	s.GatedACTs += o.GatedACTs
+	s.TotalACTs += o.TotalACTs
+	s.BackoffCycles += o.BackoffCycles
+}
+
 type response struct {
 	at  int64
 	req *Request
@@ -165,23 +198,34 @@ func (c *Controller) QueueOccupancy() (int, int) { return len(c.readQ), len(c.wr
 // EnqueueRead implements cache.Backend. It returns false when the read
 // queue is full.
 func (c *Controller) EnqueueRead(line uint64, thread int) bool {
-	if len(c.readQ) >= c.cfg.ReadQueue {
-		return false
-	}
-	c.readQ = append(c.readQ, &Request{
-		Line: line, Thread: thread, Arrive: c.now, Addr: c.mapper.Map(line),
-	})
-	return true
+	return c.EnqueueReadAddr(line, thread, c.mapper.Map(line))
 }
 
 // EnqueueWrite implements cache.Backend. It returns false when the write
 // queue is full.
 func (c *Controller) EnqueueWrite(line uint64, thread int) bool {
+	return c.EnqueueWriteAddr(line, thread, c.mapper.Map(line))
+}
+
+// EnqueueReadAddr enqueues a read whose DRAM location was already decoded
+// (the memsys layer maps once at the system level and routes by channel).
+func (c *Controller) EnqueueReadAddr(line uint64, thread int, addr dram.Addr) bool {
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		return false
+	}
+	c.readQ = append(c.readQ, &Request{
+		Line: line, Thread: thread, Arrive: c.now, Addr: addr,
+	})
+	return true
+}
+
+// EnqueueWriteAddr enqueues a pre-decoded write.
+func (c *Controller) EnqueueWriteAddr(line uint64, thread int, addr dram.Addr) bool {
 	if len(c.writeQ) >= c.cfg.WriteQueue {
 		return false
 	}
 	c.writeQ = append(c.writeQ, &Request{
-		Line: line, Thread: thread, Write: true, Arrive: c.now, Addr: c.mapper.Map(line),
+		Line: line, Thread: thread, Write: true, Arrive: c.now, Addr: addr,
 	})
 	return true
 }
@@ -240,21 +284,27 @@ func (c *Controller) PendingPreventive() int { return c.prevPending }
 // Tick advances the controller by one command-bus cycle: it delivers
 // completed read data, then issues at most one DRAM command chosen by
 // priority: refresh > preventive actions > demand requests (FR-FCFS+Cap).
-func (c *Controller) Tick(nowCycle int64) {
+// It reports whether the controller made progress (delivered data or
+// issued a command); the skip-ahead loop uses this to detect stalls.
+func (c *Controller) Tick(nowCycle int64) bool {
 	c.now = nowCycle
-	c.deliverResponses()
+	progress := c.deliverResponses()
 
-	if c.tryRefresh() {
-		return
+	switch {
+	case c.tryRefresh():
+		return true
+	case c.tryPreventive():
+		return true
+	case c.tryDemand():
+		return true
 	}
-	if c.tryPreventive() {
-		return
-	}
-	c.tryDemand()
+	return progress
 }
 
-func (c *Controller) deliverResponses() {
+func (c *Controller) deliverResponses() bool {
+	delivered := false
 	for len(c.responses) > 0 && c.responses[0].at <= c.now {
+		delivered = true
 		r := c.responses[0]
 		c.responses = c.responses[1:]
 		c.stats.ReadsDone[r.req.Thread]++
@@ -265,6 +315,7 @@ func (c *Controller) deliverResponses() {
 			c.fill(r.req.Line)
 		}
 	}
+	return delivered
 }
 
 // tryRefresh advances per-rank refresh. Returns true if a command issued.
@@ -345,8 +396,9 @@ func (c *Controller) tryPreventive() bool {
 	return false
 }
 
-// tryDemand schedules demand requests with FR-FCFS+Cap.
-func (c *Controller) tryDemand() {
+// tryDemand schedules demand requests with FR-FCFS+Cap. Returns true if
+// a command issued.
+func (c *Controller) tryDemand() bool {
 	// Write-drain hysteresis.
 	if len(c.writeQ) >= c.cfg.WriteHi {
 		c.draining = true
@@ -359,16 +411,17 @@ func (c *Controller) tryDemand() {
 		if len(c.writeQ) > 0 {
 			queue = &c.writeQ
 		} else if len(c.readQ) == 0 {
-			return
+			return false
 		}
 	}
-	c.schedule(queue)
+	return c.schedule(queue)
 }
 
 // schedule implements FR-FCFS with a cap on column-over-row reordering:
 // a row-hit request may bypass at most Cap older row-conflict requests to
 // the same bank before the oldest conflicting request is served first.
-func (c *Controller) schedule(queue *[]*Request) {
+// Returns true if a command issued.
+func (c *Controller) schedule(queue *[]*Request) bool {
 	q := *queue
 
 	// First pass: oldest issuable row-hit column command, respecting Cap.
@@ -396,7 +449,7 @@ func (c *Controller) schedule(queue *[]*Request) {
 		}
 		c.completeColumn(req, res)
 		*queue = append(q[:i], q[i+1:]...)
-		return
+		return true
 	}
 
 	// Second pass: oldest request's required preparation command.
@@ -417,7 +470,7 @@ func (c *Controller) schedule(queue *[]*Request) {
 			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
 				c.dev.Issue(dram.CmdPRE, pre, c.now)
 				c.capCount[bank] = 0
-				return
+				return true
 			}
 			continue
 		}
@@ -442,8 +495,42 @@ func (c *Controller) schedule(queue *[]*Request) {
 		for _, h := range c.hooks {
 			h(bank, req.Addr.Row, req.Thread, c.now)
 		}
-		return
+		return true
 	}
+	return false
+}
+
+// NextWake returns a sound lower bound on the next cycle at which this
+// controller's Tick could make progress, assuming the immediately
+// preceding Tick made none (so all queue and device state is frozen until
+// then). The skip-ahead loop jumps to the minimum NextWake across
+// components during globally idle spans.
+func (c *Controller) NextWake(now int64) int64 {
+	const horizon = int64(1) << 62
+	next := horizon
+	take := func(ts int64) {
+		if ts > now && ts < next {
+			next = ts
+		}
+	}
+	if len(c.responses) > 0 {
+		take(c.responses[0].at)
+	}
+	busy := len(c.readQ) > 0 || len(c.writeQ) > 0 || c.prevPending > 0
+	for r := range c.nextRef {
+		if c.refPending[r] {
+			// Actively clearing the rank for REF: blocked purely by device
+			// timing, covered by NextRelease below.
+			busy = true
+		} else {
+			take(c.nextRef[r])
+		}
+	}
+	if busy {
+		take(c.backoffUntil)
+		take(c.dev.NextRelease(now))
+	}
+	return next
 }
 
 // completeColumn finalizes a column command: reads schedule a response,

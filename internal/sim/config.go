@@ -21,6 +21,18 @@ type Config struct {
 	Cache  cache.Config
 	Core   cpu.Config
 
+	// Channels is the memory channel count (0 or 1 = the paper's
+	// single-channel Table 1 system; must be a power of two). Each channel
+	// gets its own controller, DRAM device and mitigation-mechanism
+	// instance; lines interleave across channels per AddressMap.
+	Channels int
+
+	// DisableSkipAhead forces the legacy every-cycle simulation loop
+	// instead of the event-batched skip-ahead scheduler. The two loops
+	// produce identical results; this exists for benchmarking the
+	// batching win and as a debugging escape hatch.
+	DisableSkipAhead bool
+
 	NRH         int    // RowHammer threshold
 	Mechanism   string // mitigation name ("none", "para", ..., "blockhammer")
 	BreakHammer bool   // pair the mechanism with BreakHammer
@@ -63,6 +75,7 @@ func DefaultConfig() Config {
 		MC:          memctrl.DefaultConfig(),
 		Cache:       cache.DefaultConfig(),
 		Core:        cpu.DefaultConfig(),
+		Channels:    1,
 		NRH:         1024,
 		Mechanism:   "none",
 		BlastRadius: 2,
@@ -118,7 +131,21 @@ func (c Config) Validate() error {
 	if c.RowPressFactor < 0 {
 		return fmt.Errorf("sim: RowPressFactor must be >= 1 (or 0 for default), got %d", c.RowPressFactor)
 	}
+	if c.Channels < 0 {
+		return fmt.Errorf("sim: Channels must be >= 0, got %d", c.Channels)
+	}
+	if c.Channels > 0 && c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("sim: Channels must be a power of two, got %d", c.Channels)
+	}
 	return nil
+}
+
+// channels returns the effective channel count (zero value = 1).
+func (c Config) channels() int {
+	if c.Channels > 0 {
+		return c.Channels
+	}
+	return 1
 }
 
 // effectiveNRH returns the threshold the mitigation is configured against

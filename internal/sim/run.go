@@ -14,12 +14,32 @@ import (
 // recomputing it per configuration would only waste time.
 var aloneCache sync.Map
 
+// aloneKey derives the cache key from every configuration field that can
+// change an alone-mode run: DRAM geometry and timing, controller, cache
+// and core parameters, channel count, address map and run length, plus
+// the full workload spec. Fields that AloneIPC forces (mechanism,
+// BreakHammer and its knobs) or that only parameterise a mitigation
+// (NRH, blast radius, RowPress hardening) are normalised out so that
+// sweeps over them share one baseline instead of recomputing it — while
+// sweeps over system structure can no longer silently reuse a baseline
+// from a different system.
+func aloneKey(cfg Config, spec workload.Spec) string {
+	c := cfg
+	c.Mechanism = "none"
+	c.BreakHammer = false
+	c.NRH = 0
+	c.BlastRadius = 0
+	c.RowPressFactor = 0
+	c.ThrottleAt = ""
+	c.BHWindow, c.BHThreat, c.BHOutlier = 0, 0, 0
+	c.Seed = 0 // the trace stream is seeded by spec.Seed, not cfg.Seed
+	return fmt.Sprintf("%+v|%+v", c, spec)
+}
+
 // AloneIPC returns the IPC of a spec running alone on the system with no
 // mitigation — the denominator of weighted speedup and maximum slowdown.
 func AloneIPC(cfg Config, spec workload.Spec) (float64, error) {
-	key := fmt.Sprintf("%s|%d|%d|%g|%g|%d|%d",
-		spec.Name, spec.Seed, spec.Class, spec.MPKI, spec.Locality,
-		spec.FootprintLines, cfg.TargetInsts)
+	key := aloneKey(cfg, spec)
 	if v, ok := aloneCache.Load(key); ok {
 		return v.(float64), nil
 	}

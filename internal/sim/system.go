@@ -6,8 +6,8 @@ import (
 	"breakhammer/internal/cache"
 	"breakhammer/internal/core"
 	"breakhammer/internal/cpu"
-	"breakhammer/internal/dram"
 	"breakhammer/internal/memctrl"
+	"breakhammer/internal/memsys"
 	"breakhammer/internal/mitigation"
 	"breakhammer/internal/stats"
 	"breakhammer/internal/workload"
@@ -16,12 +16,17 @@ import (
 // System is one fully wired simulated machine.
 type System struct {
 	cfg   Config
-	dev   *dram.Device
-	mc    *memctrl.Controller
+	mem   *memsys.Interleaved
 	llc   *cache.LLC
 	cores []*cpu.Core
-	mech  mitigation.Mechanism
+	mechs []mitigation.Mechanism // one instance per channel; empty for "none"
 	bh    *core.BreakHammer
+
+	// everyCycle forces the legacy per-cycle loop: set by
+	// Config.DisableSkipAhead, or automatically when an ActGate
+	// (BlockHammer) is installed — the gate's verdict changes with time
+	// outside the wake-signal set, so skipping could delay activations.
+	everyCycle bool
 
 	benign    []bool
 	latencies []*stats.Histogram
@@ -48,6 +53,22 @@ func (m memPort) Write(line uint64, thread int, now int64) bool {
 	return m.llc.Write(line, thread)
 }
 
+// minQuota takes the most restrictive per-thread quota across providers
+// (per-channel BlockHammer AttackThrottler instances).
+type minQuota struct {
+	providers []cache.QuotaProvider
+}
+
+func (m minQuota) MSHRQuota(thread int) int {
+	q := m.providers[0].MSHRQuota(thread)
+	for _, p := range m.providers[1:] {
+		if v := p.MSHRQuota(thread); v < q {
+			q = v
+		}
+	}
+	return q
+}
+
 // NewSystem builds a system running the given mix (one spec per core).
 func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -67,30 +88,34 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		timing.RC = timing.RAS + timing.RP
 	}
 
-	dev, err := dram.NewDevice(cfg.DRAM, timing)
+	mem, err := memsys.New(memsys.Config{
+		Channels:   cfg.channels(),
+		DRAM:       cfg.DRAM,
+		Timing:     timing,
+		MC:         cfg.MC,
+		AddressMap: cfg.AddressMap,
+	}, threads)
 	if err != nil {
 		return nil, err
 	}
-	mc := memctrl.New(cfg.MC, dev, threads)
-	if cfg.AddressMap == "rowint" {
-		mc.SetMapper(memctrl.NewRowInterleavedMapper(cfg.DRAM))
-	}
-	llc := cache.New(cfg.Cache, threads, mc)
-	mc.SetFillFunc(llc.Fill)
+	llc := cache.New(cfg.Cache, threads, mem)
+	mem.SetFillFunc(llc.Fill)
 
-	s := &System{cfg: cfg, dev: dev, mc: mc, llc: llc}
+	s := &System{cfg: cfg, mem: mem, llc: llc, everyCycle: cfg.DisableSkipAhead}
 
 	s.latencies = make([]*stats.Histogram, threads)
 	for i := range s.latencies {
 		s.latencies[i] = stats.NewLatencyHistogram()
 	}
-	mc.SetLatencySink(func(thread int, cycles int64) {
+	mem.SetLatencySink(func(thread int, cycles int64) {
 		if thread >= 0 {
 			s.latencies[thread].Add(timing.CyclesToNs(cycles))
 		}
 	})
 
-	// BreakHammer, if enabled, observes the mechanism and throttles MSHRs.
+	// BreakHammer, if enabled, observes the mechanism instances on every
+	// channel and throttles MSHRs. Activation attribution is cross-channel:
+	// one score table sees the merged activation stream.
 	var obs mitigation.Observer
 	if cfg.BreakHammer {
 		p := core.DefaultParams(threads, cfg.Cache.MSHRs, cfg.bhWindow())
@@ -105,35 +130,52 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		if cfg.ThrottleAt != "lsu" {
 			llc.SetQuotaProvider(s.bh) // §4.3: throttle at the cache-miss buffers
 		}
-		mc.AddActivateHook(func(bank, row, thread int, now int64) {
+		mem.AddActivateHook(func(channel, bank, row, thread int, now int64) {
 			s.bh.OnActivate(thread)
 		})
 	}
 
-	mech, err := mitigation.New(cfg.Mechanism, mitigation.Params{
-		NRH:         cfg.effectiveNRH(),
-		BlastRadius: cfg.BlastRadius,
-		Banks:       cfg.DRAM.TotalBanks(),
-		RowsPerBank: cfg.DRAM.RowsPerBank,
-		Threads:     threads,
-		REFW:        timing.REFW,
-		REFI:        timing.REFI,
-		RC:          timing.RC,
-		Seed:        cfg.Seed,
-	}, mc, obs)
-	if err != nil {
-		return nil, err
-	}
-	s.mech = mech
-	if mech != nil {
-		mc.AddActivateHook(mech.OnActivate)
+	// One mechanism instance per channel: trigger state (per-bank counters,
+	// Bloom filters, migration maps) is channel-local, exactly as each
+	// channel's memory controller owns its own mitigation hardware.
+	var blockers []*mitigation.BlockHammer
+	for ch := 0; ch < mem.Channels(); ch++ {
+		mech, err := mitigation.New(cfg.Mechanism, mitigation.Params{
+			NRH:         cfg.effectiveNRH(),
+			BlastRadius: cfg.BlastRadius,
+			Banks:       cfg.DRAM.TotalBanks(),
+			RowsPerBank: cfg.DRAM.RowsPerBank,
+			Threads:     threads,
+			REFW:        timing.REFW,
+			REFI:        timing.REFI,
+			RC:          timing.RC,
+			Seed:        cfg.Seed + int64(ch)*0x9e3779b9,
+		}, mem.Channel(ch), obs)
+		if err != nil {
+			return nil, err
+		}
+		if mech == nil {
+			break // "none"
+		}
+		s.mechs = append(s.mechs, mech)
+		mem.Channel(ch).AddActivateHook(mech.OnActivate)
 		if bhm, ok := mech.(*mitigation.BlockHammer); ok {
-			mc.SetActGate(bhm.ActAllowed)
+			mem.Channel(ch).SetActGate(bhm.ActAllowed)
 			// BlockHammer's AttackThrottler shrinks in-flight request
 			// quotas by each thread's RowHammer likelihood index.
 			bhm.SetMaxQuota(cfg.Cache.MSHRs)
-			llc.SetQuotaProvider(bhm)
+			blockers = append(blockers, bhm)
 		}
+	}
+	if len(blockers) > 0 {
+		// The gate's time-dependent verdict is invisible to the wake-signal
+		// set; fall back to the every-cycle loop for correctness.
+		s.everyCycle = true
+		providers := make([]cache.QuotaProvider, len(blockers))
+		for i, b := range blockers {
+			providers[i] = b
+		}
+		llc.SetQuotaProvider(minQuota{providers: providers})
 	}
 
 	port := memPort{llc: llc, hitLat: cfg.Cache.HitLatency}
@@ -150,8 +192,12 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	return s, nil
 }
 
-// Controller exposes the memory controller (tests, characterisation).
-func (s *System) Controller() *memctrl.Controller { return s.mc }
+// Memory exposes the multi-channel memory subsystem.
+func (s *System) Memory() memsys.MemorySystem { return s.mem }
+
+// Controller exposes channel 0's memory controller (tests,
+// characterisation; single-channel systems have only this one).
+func (s *System) Controller() *memctrl.Controller { return s.mem.Channel(0) }
 
 // Cache exposes the LLC.
 func (s *System) Cache() *cache.LLC { return s.llc }
@@ -159,8 +205,22 @@ func (s *System) Cache() *cache.LLC { return s.llc }
 // BreakHammer exposes the throttling mechanism (nil when disabled).
 func (s *System) BreakHammer() *core.BreakHammer { return s.bh }
 
-// Mechanism exposes the mitigation (nil for "none").
-func (s *System) Mechanism() mitigation.Mechanism { return s.mech }
+// Mechanism exposes channel 0's mitigation instance (nil for "none").
+func (s *System) Mechanism() mitigation.Mechanism {
+	if len(s.mechs) == 0 {
+		return nil
+	}
+	return s.mechs[0]
+}
+
+// Mechanisms exposes every channel's mitigation instance.
+func (s *System) Mechanisms() []mitigation.Mechanism { return s.mechs }
+
+// finishCheckMask sets the cadence of the benign-finished check: the run
+// loops test for completion on every (finishCheckMask+1)-cycle boundary.
+// Both loops and the skip-ahead boundary-landing computation must share
+// this constant, or the two loops would stop on different cycles.
+const finishCheckMask = 1023
 
 // Result holds the outcome of one simulation.
 type Result struct {
@@ -175,8 +235,9 @@ type Result struct {
 	Latency []*stats.Histogram
 
 	EnergyNJ   float64
-	Actions    int64 // mechanism preventive actions
-	MC         memctrl.Stats
+	Actions    int64         // mechanism preventive actions, all channels
+	MC         memctrl.Stats // merged across channels
+	MCChannels []memctrl.Stats
 	CacheStats cache.Stats
 	BH         *core.Stats // nil when BreakHammer is off
 
@@ -185,23 +246,141 @@ type Result struct {
 
 // Run executes the simulation until every benign core retires the target
 // instruction count (attacker cores are not waited for, matching §7's
-// methodology) or MaxCycles elapses.
+// methodology) or MaxCycles elapses. The default loop is event-batched:
+// every component ticks on every cycle where anything can happen, and
+// globally idle spans (all cores stalled, every channel waiting out a
+// timing constraint) are skipped in one jump to the earliest wake-up
+// signal — the two loops produce identical simulations.
 func (s *System) Run() Result {
+	if s.everyCycle {
+		return s.runEveryCycle()
+	}
+	return s.runSkipAhead()
+}
+
+// tickAll advances every component one cycle, in the fixed order memory
+// subsystem -> LLC -> cores -> BreakHammer, reporting whether anything
+// made progress.
+func (s *System) tickAll(cycle int64) bool {
+	progress := s.mem.Tick(cycle)
+	if s.llc.Tick() {
+		progress = true
+	}
+	for _, c := range s.cores {
+		if c.Tick(cycle) {
+			progress = true
+		}
+	}
+	if s.bh != nil && s.bh.Tick(cycle) {
+		progress = true
+	}
+	return progress
+}
+
+// runEveryCycle is the legacy loop: one tick per simulated cycle.
+func (s *System) runEveryCycle() Result {
 	cycle := int64(0)
 	for ; cycle < s.cfg.MaxCycles; cycle++ {
-		s.mc.Tick(cycle)
-		s.llc.Tick()
-		for _, c := range s.cores {
-			c.Tick(cycle)
-		}
-		if s.bh != nil {
-			s.bh.Tick(cycle)
-		}
-		if cycle&1023 == 0 && s.benignFinished() {
+		s.tickAll(cycle)
+		if cycle&finishCheckMask == 0 && s.benignFinished() {
 			break
 		}
 	}
 	return s.collect(cycle)
+}
+
+// runSkipAhead is the event-batched loop. Two batching levels, both
+// exact:
+//
+// Per-core sleep: a core whose Tick made no progress is frozen — it can
+// only be unblocked by memory-side progress (a fill freeing an MSHR, a
+// queue draining, a quota restored at a BreakHammer window rotation) or
+// by its own head instruction's known completion time. Until one of
+// those fires, its Tick would be a pure no-op, so the loop stops calling
+// it. Cores cannot unblock each other directly: every inter-core
+// interaction (MSHR pool, queues, quotas) changes only through the
+// memory subsystem, the LLC or BreakHammer.
+//
+// Global skip: on a cycle where no component makes progress the whole
+// system is provably frozen until some wake-up signal fires (a read-data
+// arrival, a refresh deadline, a DRAM timing constraint expiring, a
+// core's known completion time, a throttling window boundary), so the
+// loop jumps straight to the earliest one.
+//
+// Cycles the loop never executes are exactly the cycles the every-cycle
+// loop would execute as no-ops, so both loops produce identical
+// simulations (only diagnostic stall counters, which count ticked
+// cycles, differ).
+func (s *System) runSkipAhead() Result {
+	asleep := make([]bool, len(s.cores))
+	coreWake := make([]int64, len(s.cores))
+	wakeAll := false // a BreakHammer rotation last cycle may have restored quotas
+
+	cycle := int64(0)
+	for cycle < s.cfg.MaxCycles {
+		memProgress := s.mem.Tick(cycle)
+		if s.llc.Tick() {
+			memProgress = true
+		}
+		coreProgress := false
+		for i, c := range s.cores {
+			if asleep[i] {
+				if !memProgress && !wakeAll && cycle < coreWake[i] {
+					continue
+				}
+				asleep[i] = false
+			}
+			if c.Tick(cycle) {
+				coreProgress = true
+			} else {
+				asleep[i] = true
+				coreWake[i] = c.NextWake(cycle)
+			}
+		}
+		wakeAll = s.bh != nil && s.bh.Tick(cycle)
+
+		if cycle&finishCheckMask == 0 && s.benignFinished() {
+			return s.collect(cycle)
+		}
+		if memProgress || coreProgress || wakeAll {
+			cycle++
+			continue
+		}
+		wake := s.nextWake(cycle, coreWake)
+		if s.benignFinished() {
+			// The every-cycle loop stops at the first check boundary after
+			// the benign cores finish; land exactly there.
+			if nb := (cycle | finishCheckMask) + 1; nb < wake {
+				wake = nb
+			}
+		}
+		if wake <= cycle {
+			wake = cycle + 1
+		}
+		if wake > s.cfg.MaxCycles {
+			wake = s.cfg.MaxCycles
+		}
+		cycle = wake
+	}
+	return s.collect(cycle)
+}
+
+// nextWake gathers the earliest wake-up signal across all components.
+// It is called only when every core just failed to progress, so
+// coreWake[i] holds each core's self-scheduled wake-up.
+func (s *System) nextWake(now int64, coreWake []int64) int64 {
+	wake := s.mem.NextWake(now)
+	for _, w := range coreWake {
+		if w < wake {
+			wake = w
+		}
+	}
+	if s.bh != nil {
+		if w := s.bh.NextWindow(); w > now && w < wake {
+			wake = w
+		}
+	}
+	return wake
 }
 
 func (s *System) benignFinished() bool {
@@ -221,6 +400,7 @@ func (s *System) benignFinished() bool {
 
 func (s *System) collect(cycle int64) Result {
 	threads := len(s.cores)
+	merged := s.mem.Stats()
 	r := Result{
 		Cycles:     cycle,
 		Seconds:    s.cfg.Timing.CyclesToNs(cycle) * 1e-9,
@@ -229,20 +409,23 @@ func (s *System) collect(cycle int64) Result {
 		Benign:     append([]bool(nil), s.benign...),
 		RBMPKI:     make([]float64, threads),
 		Latency:    s.latencies,
-		MC:         *s.mc.Stats(),
+		MC:         merged,
 		CacheStats: *s.llc.Stats(),
+	}
+	for ch := 0; ch < s.mem.Channels(); ch++ {
+		r.MCChannels = append(r.MCChannels, *s.mem.ChannelStats(ch))
 	}
 	for i, c := range s.cores {
 		r.IPC[i] = c.IPC(cycle)
 		r.Insts[i] = c.Retired()
 		if c.Retired() > 0 {
-			r.RBMPKI[i] = float64(s.mc.Stats().DemandACTs[i]) / float64(c.Retired()) * 1000
+			r.RBMPKI[i] = float64(merged.DemandACTs[i]) / float64(c.Retired()) * 1000
 		}
 	}
 	durationNs := s.cfg.Timing.CyclesToNs(cycle)
-	r.EnergyNJ = s.dev.Energy().TotalNJ(durationNs, s.cfg.DRAM.Ranks)
-	if s.mech != nil {
-		r.Actions = s.mech.Actions()
+	r.EnergyNJ = s.mem.EnergyNJ(durationNs)
+	for _, m := range s.mechs {
+		r.Actions += m.Actions()
 	}
 	if s.bh != nil {
 		r.BH = s.bh.Stats()
