@@ -1,18 +1,25 @@
 // bhsim runs a single BreakHammer simulation and prints its metrics.
 //
+// With -cache-dir the finished result persists to the same
+// content-addressed store bhsweep uses, so re-running an identical
+// invocation replays it instantly; -json dumps the full result record.
+//
 // Usage:
 //
 //	bhsim -mix HHMA -mech graphene -nrh 1024 -bh
 //	bhsim -mix LLLA -mech blockhammer -nrh 128 -insts 400000
+//	bhsim -mix HHMA -mech rfm -bh -cache-dir ~/.bhcache -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"breakhammer"
+	"breakhammer/internal/results"
 )
 
 func main() {
@@ -29,6 +36,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		paper    = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
 		verbose  = flag.Bool("v", false, "print per-thread detail")
+		cacheDir = flag.String("cache-dir", "", "persist the result to this directory; identical reruns replay it")
+		jsonOut  = flag.Bool("json", false, "print the full result record as JSON")
 	)
 	flag.Parse()
 
@@ -49,9 +58,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := breakhammer.Run(cfg, mix)
+
+	store, err := results.Open(*cacheDir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	key, err := results.Key(cfg, []breakhammer.Mix{mix})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res breakhammer.MixResult
+	if cached, ok := store.Get(key); ok && len(cached) == 1 {
+		res = cached[0]
+		log.Printf("served from cache %s", *cacheDir)
+	} else {
+		res, err = breakhammer.Run(cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *cacheDir != "" {
+			if err := store.Put(key, []breakhammer.MixResult{res}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("mix=%s mech=%s nrh=%d breakhammer=%v channels=%d\n", mix.Name, *mech, *nrh, *bh, *channels)

@@ -1,12 +1,20 @@
 // bhsweep regenerates the paper's tables and figures (see DESIGN.md's
-// per-experiment index) and prints them as ASCII tables or CSV.
+// per-experiment index) and prints them as ASCII tables, CSV or JSON.
+//
+// With -cache-dir, every simulated configuration point persists to a
+// content-addressed store (see internal/results): repeated invocations
+// perform zero simulations, and an interrupted sweep resumes where it
+// died. -jobs bounds how many points simulate concurrently; -resume=false
+// ignores (and supersedes) previously cached points.
 //
 // Usage:
 //
-//	bhsweep                       # everything, scaled-down defaults
-//	bhsweep -figs 2,6,8           # a subset
-//	bhsweep -csv -out results/    # CSV files, one per experiment
-//	bhsweep -mixes 3 -insts 1e6   # larger sweep
+//	bhsweep                            # everything, scaled-down defaults
+//	bhsweep -figs 2,6,8                # a subset
+//	bhsweep -csv -out results/         # CSV files, one per experiment
+//	bhsweep -mixes 3 -insts 1e6        # larger sweep
+//	bhsweep -cache-dir ~/.bhcache      # persistent, resumable sweep
+//	bhsweep -cache-dir c -jobs 4 -json # bounded pool, JSON export
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 
 	"breakhammer"
 	"breakhammer/internal/exp"
+	"breakhammer/internal/results"
 )
 
 type experiment struct {
@@ -38,10 +47,21 @@ func main() {
 		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
 		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of ASCII")
 		outDir   = flag.String("out", "", "write one file per experiment into this directory")
 		quick    = flag.Bool("quick", false, "minimal smoke-test sweep")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results here; repeated sweeps recompute nothing")
+		resume   = flag.Bool("resume", true, "with -cache-dir: serve previously completed points from the cache (false recomputes and supersedes them)")
+		jobs     = flag.Int("jobs", 0, "configuration points simulated concurrently (0 = auto: ~GOMAXPROCS/4, since each point also parallelizes across its mixes)")
+		progress = flag.Bool("progress", true, "stream per-point progress to stderr")
 	)
 	flag.Parse()
+	if *csvOut && *jsonOut {
+		log.Fatal("-csv and -json are mutually exclusive")
+	}
+	if *mixes < 1 {
+		log.Fatalf("-mixes must be at least 1, got %d", *mixes)
+	}
 
 	opts := exp.DefaultOptions()
 	if *quick {
@@ -65,12 +85,34 @@ func main() {
 	if *mechs != "" {
 		opts.Mechanisms = strings.Split(*mechs, ",")
 	}
-	runner := exp.NewRunner(opts)
+
+	store, err := results.Open(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*resume {
+		store.Reset()
+	}
+	runner := exp.NewRunnerWithStore(opts, store)
+	runner.SetJobs(*jobs)
+	var reusedPoints int
+	runner.SetProgress(func(done, total int, p exp.Point, cached bool) {
+		if cached {
+			reusedPoints++
+		}
+		if *progress {
+			suffix := ""
+			if cached {
+				suffix = " (cached)"
+			}
+			log.Printf("point %d/%d: %s%s", done, total, p, suffix)
+		}
+	})
 
 	all := []experiment{
 		{"table1", func(*exp.Runner) (exp.Table, error) { return exp.Table1(opts.Base), nil }},
 		{"table2", func(*exp.Runner) (exp.Table, error) { return exp.Table2(opts.Base), nil }},
-		{"table3", func(*exp.Runner) (exp.Table, error) { return exp.Table3(opts.Base) }},
+		{"table3", (*exp.Runner).Table3},
 		{"2", (*exp.Runner).Figure2},
 		{"5", func(*exp.Runner) (exp.Table, error) { return exp.Figure5(), nil }},
 		{"6", (*exp.Runner).Figure6},
@@ -102,10 +144,25 @@ func main() {
 		}
 	}
 
+	// Fail on an unwritable output directory before simulating anything.
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// Enumerate every point the selected experiments will read —
+	// deduplicated across figures — and bring them into the store first,
+	// spanning points with the worker pool. Figure rendering below then
+	// runs without simulating.
+	var names []string
+	for _, e := range all {
+		if selected[e.name] {
+			names = append(names, e.name)
+		}
+	}
+	if err := runner.Prefetch(runner.PointsFor(names)); err != nil {
+		log.Fatal(err)
 	}
 	_ = breakhammer.Mechanisms() // façade linkage sanity
 
@@ -117,17 +174,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("experiment %s: %v", e.name, err)
 		}
-		var text string
-		if *csvOut {
-			text = tbl.CSV()
-		} else {
-			text = tbl.String()
+		var text, ext string
+		switch {
+		case *csvOut:
+			text, ext = tbl.CSV(), ".csv"
+		case *jsonOut:
+			text, ext = tbl.JSON(), ".json"
+		default:
+			text, ext = tbl.String(), ".txt"
 		}
 		if *outDir != "" {
-			ext := ".txt"
-			if *csvOut {
-				ext = ".csv"
-			}
 			path := filepath.Join(*outDir, "experiment_"+e.name+ext)
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 				log.Fatal(err)
@@ -136,5 +192,11 @@ func main() {
 		} else {
 			fmt.Println(text)
 		}
+	}
+
+	if *cacheDir != "" {
+		st := store.Stats()
+		log.Printf("cache %s: %d point(s) simulated this run, %d reused from the cache, %d record(s) written",
+			*cacheDir, runner.Executed(), reusedPoints, st.Written)
 	}
 }

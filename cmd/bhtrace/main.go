@@ -6,12 +6,15 @@
 //
 //	bhtrace -class H -n 20           # dump 20 records
 //	bhtrace -class A -summary        # attacker characterisation
+//	bhtrace -class A -summary -json  # the same, machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"breakhammer/internal/dram"
 	"breakhammer/internal/memctrl"
@@ -30,9 +33,19 @@ func main() {
 		channels = flag.Int("channels", 1, "memory channels for the address decode (power of two)")
 		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records")
 		samples  = flag.Int("samples", 100000, "accesses to sample for -summary")
+		jsonOut  = flag.Bool("json", false, "emit JSON (one object per record, or one summary object)")
 	)
 	flag.Parse()
 
+	if *channels <= 0 || *channels&(*channels-1) != 0 {
+		log.Fatalf("-channels must be a positive power of two, got %d", *channels)
+	}
+	if *summary && *samples <= 0 {
+		log.Fatalf("-samples must be positive for -summary, got %d", *samples)
+	}
+	if len(*class) != 1 {
+		log.Fatalf("-class must be a single letter (H, M, L or A), got %q", *class)
+	}
 	c, err := workload.ParseClass((*class)[0])
 	if err != nil {
 		log.Fatal(err)
@@ -42,6 +55,20 @@ func main() {
 	mapper := memctrl.NewChannelMOPMapper(dram.Default(), *channels)
 
 	if !*summary {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			for i := 0; i < *n; i++ {
+				bubbles, line, write := gen.Next()
+				a := mapper.Map(line)
+				if err := enc.Encode(traceRecord{
+					Bubbles: bubbles, Line: line, Write: write,
+					Channel: a.Channel, Bank: a.Bank, Row: a.Row, Col: a.Col,
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return
+		}
 		fmt.Printf("# workload=%s class=%s mpki=%g locality=%g footprint=%d lines\n",
 			spec.Name, spec.Class, spec.MPKI, spec.Locality, spec.FootprintLines)
 		fmt.Println("# bubbles  line-addr      op  ch  bank  row    col")
@@ -86,6 +113,22 @@ func main() {
 			maxRow = v
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traceSummary{
+			Workload: spec.Name, Class: spec.Class.String(),
+			Accesses: accesses, Instructions: insts,
+			MPKI:          float64(accesses) / float64(insts) * 1000,
+			WriteFraction: float64(writes) / float64(accesses),
+			ChannelsUsed:  len(chans), Channels: *channels,
+			BanksTouched: len(banks), DistinctRows: len(rowACTs),
+			RowsOver64: hot64, RowsOver512: hot512, MaxRowCount: maxRow,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("workload        %s (class %s)\n", spec.Name, spec.Class)
 	fmt.Printf("accesses        %d over %d instructions (MPKI %.1f)\n",
 		accesses, insts, float64(accesses)/float64(insts)*1000)
@@ -96,4 +139,32 @@ func main() {
 	fmt.Printf("rows >=64 acc   %d\n", hot64)
 	fmt.Printf("rows >=512 acc  %d\n", hot512)
 	fmt.Printf("max row count   %d\n", maxRow)
+}
+
+// traceRecord is the JSON form of one dumped trace access.
+type traceRecord struct {
+	Bubbles int64  `json:"bubbles"`
+	Line    uint64 `json:"line"`
+	Write   bool   `json:"write"`
+	Channel int    `json:"channel"`
+	Bank    int    `json:"bank"`
+	Row     int    `json:"row"`
+	Col     int    `json:"col"`
+}
+
+// traceSummary is the JSON form of the -summary characterisation.
+type traceSummary struct {
+	Workload      string  `json:"workload"`
+	Class         string  `json:"class"`
+	Accesses      int64   `json:"accesses"`
+	Instructions  int64   `json:"instructions"`
+	MPKI          float64 `json:"mpki"`
+	WriteFraction float64 `json:"write_fraction"`
+	ChannelsUsed  int     `json:"channels_used"`
+	Channels      int     `json:"channels"`
+	BanksTouched  int     `json:"banks_touched"`
+	DistinctRows  int     `json:"distinct_rows"`
+	RowsOver64    int     `json:"rows_over_64"`
+	RowsOver512   int     `json:"rows_over_512"`
+	MaxRowCount   int64   `json:"max_row_count"`
 }

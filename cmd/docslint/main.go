@@ -1,0 +1,129 @@
+// docslint enforces the project's godoc policy with no external
+// dependencies: every exported identifier in the package directories
+// given as arguments must carry a doc comment (the rule revive's
+// "exported" check implements). CI runs it over internal/exp,
+// internal/sim and internal/results; run it locally with
+//
+//	go run ./cmd/docslint ./internal/exp ./internal/sim ./internal/results
+//
+// It prints one "file:line: identifier" per violation and exits non-zero
+// if any exist. Test files are skipped. A grouped const/var/type block's
+// leading comment documents the whole block.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docslint: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: docslint <package-dir> [<package-dir>...]")
+	}
+	violations := 0
+	for _, dir := range os.Args[1:] {
+		v, err := lintDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		violations += v
+	}
+	if violations > 0 {
+		log.Fatalf("%d exported identifier(s) missing doc comments", violations)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and reports undocumented
+// exported declarations.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	violations := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return 0, err
+		}
+		violations += lintFile(fset, file)
+	}
+	return violations, nil
+}
+
+// lintFile reports each undocumented exported top-level declaration.
+func lintFile(fset *token.FileSet, file *ast.File) int {
+	violations := 0
+	report := func(pos token.Pos, name string) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), name)
+		violations++
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods on unexported receivers are not part of the API.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			report(d.Pos(), d.Name.Name)
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && !(groupDoc && len(d.Specs) == 1) {
+						report(s.Pos(), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || groupDoc {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// exportedReceiver reports whether a method's receiver base type is
+// exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -42,6 +42,7 @@ type Addr struct {
 	Col     int
 }
 
+// String renders the address for traces and error messages.
 func (a Addr) String() string {
 	return fmt.Sprintf("ch=%d bank=%d row=%d col=%d", a.Channel, a.Bank, a.Row, a.Col)
 }

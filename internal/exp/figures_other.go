@@ -55,16 +55,8 @@ func (r *Runner) Figure19() (Table, error) {
 	}
 
 	run := func(th float64, nrh int, attack bool) ([]sim.MixResult, error) {
-		cfg := r.opts.Base
-		cfg.Mechanism = "graphene"
-		cfg.NRH = nrh
-		cfg.BreakHammer = true
-		cfg.BHThreat = th
-		mixes := workload.AttackMixes(r.opts.MixesPerGroup)
-		if !attack {
-			mixes = workload.BenignMixes(r.opts.MixesPerGroup)
-		}
-		return sim.RunMixes(cfg, mixes)
+		rs, _, err := r.point(Point{Mech: "graphene", NRH: nrh, BH: true, Attack: attack, BHThreat: th})
+		return rs, err
 	}
 
 	refThreat := r.opts.THthreats[len(r.opts.THthreats)-1]

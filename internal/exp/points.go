@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"breakhammer/internal/results"
+	"breakhammer/internal/sim"
+)
+
+// Point identifies one cacheable configuration point of the evaluation: a
+// (mechanism, N_RH, ±BreakHammer, mix family) tuple, plus the TH_threat
+// override used by Fig. 19's sensitivity sweep. Together with the
+// runner's Options it determines the full sim.Config and mix list, and
+// therefore the point's content address in the results store.
+type Point struct {
+	Mech     string  // mitigation mechanism ("none" for the baseline)
+	NRH      int     // RowHammer threshold
+	BH       bool    // BreakHammer paired with the mechanism
+	Attack   bool    // attacker mix family (false = all-benign)
+	BHThreat float64 // 0 = Table 2 default; Fig. 19 sweeps this
+}
+
+// String renders the point for progress lines and errors.
+func (p Point) String() string {
+	s := p.Mech
+	if p.BH {
+		s += "+BH"
+	}
+	s += fmt.Sprintf(" NRH=%d", p.NRH)
+	if p.Attack {
+		s += " attack"
+	} else {
+		s += " benign"
+	}
+	if p.BHThreat != 0 {
+		s += fmt.Sprintf(" TH_threat=%g", p.BHThreat)
+	}
+	return s
+}
+
+// configFor expands a point into the full simulation configuration.
+func (r *Runner) configFor(p Point) sim.Config {
+	cfg := r.opts.Base
+	cfg.Mechanism = p.Mech
+	cfg.NRH = p.NRH
+	cfg.BreakHammer = p.BH
+	if p.BHThreat != 0 {
+		cfg.BHThreat = p.BHThreat
+	}
+	return cfg
+}
+
+// PointsFor enumerates the configuration points needed to build the named
+// experiments ("2", "6", ..., "19"; table and section names contribute
+// none), deduplicated across figures: Figs. 8, 9, 10, 12 and 18 share one
+// attacker sweep, and every attacker figure shares the no-mitigation
+// baseline. Feeding the result to Prefetch warms the store so the figure
+// builders run without simulating.
+func (r *Runner) PointsFor(names []string) []Point {
+	seen := map[Point]bool{}
+	var out []Point
+	add := func(ps ...Point) {
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	baseline := func(attack bool) Point { return Point{Mech: "none", NRH: 1024, Attack: attack} }
+	o := r.opts
+	for _, name := range names {
+		switch name {
+		case "2":
+			add(baseline(false))
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Fig2Mechs {
+					add(Point{Mech: mech, NRH: nrh})
+				}
+			}
+		case "6", "7":
+			for _, mech := range o.Mechanisms {
+				add(Point{Mech: mech, NRH: o.midNRH(), Attack: true},
+					Point{Mech: mech, NRH: o.midNRH(), BH: true, Attack: true})
+			}
+		case "8", "12":
+			add(baseline(true))
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Mechanisms {
+					add(Point{Mech: mech, NRH: nrh, Attack: true},
+						Point{Mech: mech, NRH: nrh, BH: true, Attack: true})
+				}
+			}
+		case "9":
+			add(baseline(true))
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Mechanisms {
+					add(Point{Mech: mech, NRH: nrh, BH: true, Attack: true})
+				}
+			}
+		case "10":
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Mechanisms {
+					if mech == "rega" {
+						continue
+					}
+					add(Point{Mech: mech, NRH: nrh, Attack: true},
+						Point{Mech: mech, NRH: nrh, BH: true, Attack: true})
+				}
+			}
+		case "11":
+			add(baseline(true))
+			for _, mech := range o.Mechanisms {
+				add(Point{Mech: mech, NRH: o.minNRH(), Attack: true},
+					Point{Mech: mech, NRH: o.minNRH(), BH: true, Attack: true})
+			}
+		case "13":
+			for _, mech := range o.Mechanisms {
+				add(Point{Mech: mech, NRH: o.minNRH()},
+					Point{Mech: mech, NRH: o.minNRH(), BH: true})
+			}
+		case "14":
+			for _, mech := range o.Mechanisms {
+				add(Point{Mech: mech, NRH: o.midNRH()},
+					Point{Mech: mech, NRH: o.midNRH(), BH: true})
+			}
+		case "15", "16":
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Mechanisms {
+					add(Point{Mech: mech, NRH: nrh},
+						Point{Mech: mech, NRH: nrh, BH: true})
+				}
+			}
+		case "17":
+			add(baseline(false))
+			for _, mech := range o.Mechanisms {
+				add(Point{Mech: mech, NRH: o.minNRH()},
+					Point{Mech: mech, NRH: o.minNRH(), BH: true})
+			}
+		case "18":
+			add(baseline(true))
+			for _, nrh := range o.NRHs {
+				for _, mech := range o.Mechanisms {
+					add(Point{Mech: mech, NRH: nrh, BH: true, Attack: true})
+				}
+				add(Point{Mech: "blockhammer", NRH: nrh, Attack: true})
+			}
+		case "19":
+			for _, attack := range []bool{true, false} {
+				for _, nrh := range o.NRHs {
+					for _, th := range o.THthreats {
+						add(Point{Mech: "graphene", NRH: nrh, BH: true, Attack: attack, BHThreat: th})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Prefetch brings every listed point into the store, simulating cache
+// misses in a worker pool bounded by SetJobs that spans points (each
+// point's mixes additionally run in parallel). Completed points persist
+// immediately, so a killed sweep resumes where it died. The first
+// simulation error aborts the remaining points and is returned.
+//
+// Points are deduplicated by store key, not by Point value, so two
+// spellings of the same simulation (e.g. Fig. 19's TH_threat=32 column
+// versus Fig. 9's default-threat points) cannot run twice concurrently.
+func (r *Runner) Prefetch(points []Point) error {
+	seen := map[string]bool{}
+	var uniq []Point
+	for _, p := range points {
+		key, err := results.Key(r.configFor(p), r.mixes(p.Attack))
+		if err != nil {
+			return err
+		}
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, p)
+		}
+	}
+	jobs := r.jobs
+	if jobs <= 0 {
+		// Each point already fans out across its mixes inside
+		// sim.RunMixes (up to GOMAXPROCS workers), so defaulting to
+		// GOMAXPROCS points in flight would square the parallelism and
+		// balloon memory with live System instances at paper scale. A
+		// quarter of the cores at the point level keeps the machine
+		// saturated through the mix-level pool.
+		jobs = runtime.GOMAXPROCS(0) / 4
+		if jobs < 2 {
+			jobs = 2
+		}
+	}
+	sem := make(chan struct{}, jobs)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	for _, p := range uniq {
+		wg.Add(1)
+		go func(p Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			abort := firstErr != nil
+			mu.Unlock()
+			if abort {
+				return
+			}
+			_, cached, err := r.point(p)
+			mu.Lock()
+			done++
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			// The callback runs under the pool lock so callers see
+			// serialized, ordered notifications.
+			if err == nil && r.progress != nil {
+				r.progress(done, len(uniq), p, cached)
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
+	"breakhammer/internal/results"
 	"breakhammer/internal/sim"
 	"breakhammer/internal/stats"
 	"breakhammer/internal/workload"
@@ -88,22 +90,61 @@ func (o Options) midNRH() int {
 	return best
 }
 
-// Runner executes and memoizes simulations shared across figures (e.g.
-// Figs. 8, 9, 10 and 12 all read the same attacker sweep).
+// Runner is the sweep orchestrator: it executes simulations shared across
+// figures (Figs. 8, 9, 10 and 12 all read the same attacker sweep)
+// exactly once, backed by a results.Store. With a persistent store the
+// memoization survives the process: a repeated or interrupted sweep only
+// simulates points the store has never seen. See PointsFor/Prefetch for
+// running whole sweeps in a bounded worker pool.
 type Runner struct {
-	opts Options
-
-	mu    sync.Mutex
-	cache map[string][]sim.MixResult
+	opts     Options
+	store    *results.Store
+	jobs     int
+	progress ProgressFunc
+	executed int64 // simulation points actually run (not served from the store)
 }
 
-// NewRunner builds a Runner.
+// ProgressFunc receives one call per point completed by Prefetch. Calls
+// are serialized (the pool holds its lock while notifying, so keep the
+// callback cheap); done/total count deduplicated points and cached
+// reports whether the point was served from the store without
+// simulating.
+type ProgressFunc func(done, total int, p Point, cached bool)
+
+// NewRunner builds a Runner memoizing into process memory only —
+// behaviourally identical to a persistent runner minus durability.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string][]sim.MixResult)}
+	return NewRunnerWithStore(opts, results.NewMemory())
+}
+
+// NewRunnerWithStore builds a Runner backed by an explicit results store,
+// typically one opened on a cache directory so sweeps are resumable.
+func NewRunnerWithStore(opts Options, store *results.Store) *Runner {
+	if store == nil {
+		store = results.NewMemory()
+	}
+	return &Runner{opts: opts, store: store}
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
+
+// Store returns the backing results store (never nil).
+func (r *Runner) Store() *results.Store { return r.store }
+
+// SetJobs bounds the number of configuration points Prefetch simulates
+// concurrently (<= 0 restores the default, GOMAXPROCS/4 with a floor of
+// 2). Each point additionally parallelizes across its own mixes, so
+// modest values already saturate the machine; raise it only when points
+// are small or mixes few.
+func (r *Runner) SetJobs(n int) { r.jobs = n }
+
+// SetProgress installs a callback streamed by Prefetch as points finish.
+func (r *Runner) SetProgress(f ProgressFunc) { r.progress = f }
+
+// Executed returns how many configuration points this runner actually
+// simulated (cache misses). A fully warm sweep reports zero.
+func (r *Runner) Executed() int64 { return atomic.LoadInt64(&r.executed) }
 
 func (r *Runner) mixes(attack bool) []workload.Mix {
 	if attack {
@@ -115,25 +156,71 @@ func (r *Runner) mixes(attack bool) []workload.Mix {
 // results runs (or recalls) one configuration point across all mixes of a
 // family.
 func (r *Runner) results(mech string, nrh int, bh, attack bool) ([]sim.MixResult, error) {
-	key := fmt.Sprintf("%s|%d|%v|%v", mech, nrh, bh, attack)
-	r.mu.Lock()
-	cached, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return cached, nil
-	}
-	cfg := r.opts.Base
-	cfg.Mechanism = mech
-	cfg.NRH = nrh
-	cfg.BreakHammer = bh
-	rs, err := sim.RunMixes(cfg, r.mixes(attack))
+	rs, _, err := r.point(Point{Mech: mech, NRH: nrh, BH: bh, Attack: attack})
+	return rs, err
+}
+
+// point serves p from the store or simulates and persists it, reporting
+// whether the store already had it.
+func (r *Runner) point(p Point) (rs []sim.MixResult, cached bool, err error) {
+	cfg := r.configFor(p)
+	mixes := r.mixes(p.Attack)
+	key, err := results.Key(cfg, mixes)
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s NRH=%d bh=%v attack=%v: %w", mech, nrh, bh, attack, err)
+		return nil, false, err
 	}
-	r.mu.Lock()
-	r.cache[key] = rs
-	r.mu.Unlock()
-	return rs, nil
+	if rs, ok := r.store.Get(key); ok {
+		return rs, true, nil
+	}
+	rs, err = sim.RunMixes(cfg, mixes)
+	if err != nil {
+		return nil, false, fmt.Errorf("exp: %v: %w", p, err)
+	}
+	atomic.AddInt64(&r.executed, 1)
+	if err := r.store.Put(key, rs); err != nil {
+		return nil, false, err
+	}
+	return rs, false, nil
+}
+
+// cachedTable serves experiments whose output is not a plain point sweep
+// (Table 3's and Section 5's instrumented runs) from the store's raw
+// namespace: the rendered Table is keyed by the experiment label plus the
+// content address of its configuration, so a warm cache replays even
+// these without simulating. An unparseable stored table falls through to
+// a rebuild that supersedes it.
+func (r *Runner) cachedTable(label string, cfg sim.Config, build func() (Table, error)) (Table, error) {
+	key, err := results.Key(cfg, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	key += "-" + label
+	if raw, ok := r.store.GetRaw(key); ok {
+		var t Table
+		if err := json.Unmarshal(raw, &t); err == nil {
+			return t, nil
+		}
+	}
+	t, err := build()
+	if err != nil {
+		return Table{}, err
+	}
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return Table{}, err
+	}
+	if err := r.store.PutRaw(key, raw); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// Table3 is the orchestrated form of the package-level Table3: identical
+// output, served from the results store when warm.
+func (r *Runner) Table3() (Table, error) {
+	return r.cachedTable("table3", r.opts.Base, func() (Table, error) {
+		return Table3(r.opts.Base)
+	})
 }
 
 // baseline returns the no-mitigation runs for a mix family. N_RH is

@@ -16,12 +16,6 @@ import (
 // it reports benign weighted speedup, per-thread suspect events, and
 // whether the attacking *owner* tops the software-side cumulative scores.
 func (r *Runner) Section5() (Table, error) {
-	t := Table{
-		Title: "Section 5: multi-threaded attack scenarios (graphene+BH)",
-		Note:  "rotation dodges per-thread scores; owner-level tracking (§5.2) still exposes the attacker",
-	}
-	t.Header = []string{"scenario", "benign WS", "suspect events (per thread)", "top owner = attacker"}
-
 	cfg := r.opts.Base
 	cfg.Mechanism = "graphene"
 	cfg.NRH = r.opts.minNRH()
@@ -29,6 +23,21 @@ func (r *Runner) Section5() (Table, error) {
 	// Benign medium-intensity applications keep the system busy long
 	// enough for the rotation pattern to play out over several phases.
 	cfg.TargetInsts *= 4
+
+	// The scenarios instrument the system with activation hooks and an
+	// owner tracker, so they cannot be stored as plain mix results; the
+	// rendered table is cached instead (these are the longest single runs
+	// in a default sweep).
+	return r.cachedTable("sec5", cfg, func() (Table, error) { return r.section5(cfg) })
+}
+
+// section5 runs the scenarios; see Section5 for caching.
+func (r *Runner) section5(cfg sim.Config) (Table, error) {
+	t := Table{
+		Title: "Section 5: multi-threaded attack scenarios (graphene+BH)",
+		Note:  "rotation dodges per-thread scores; owner-level tracking (§5.2) still exposes the attacker",
+	}
+	t.Header = []string{"scenario", "benign WS", "suspect events (per thread)", "top owner = attacker"}
 
 	seed := int64(1234)
 	benignSpec := func(i int) workload.Spec { return workload.ClassSpec(workload.Medium, i, seed+int64(i)) }

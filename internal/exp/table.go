@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -88,6 +89,23 @@ func (t Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as an indented JSON object with title, note,
+// header and rows — the machine-readable export behind bhsweep's -json
+// flag.
+func (t Table) JSON() string {
+	b, err := json.MarshalIndent(struct {
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Note, t.Header, t.Rows}, "", "  ")
+	if err != nil {
+		// Tables hold only strings; marshalling cannot fail in practice.
+		return fmt.Sprintf("{\"error\":%q}", err.Error())
+	}
+	return string(b) + "\n"
 }
 
 // f2, f3 format floats for table cells.

@@ -1,0 +1,293 @@
+// Package results implements the persistent, content-addressed experiment
+// store behind the sweep orchestrator: every simulated configuration
+// point (full sim.Config + workload mixes + schema version) is keyed by a
+// stable hash and persisted as JSON lines, so repeated or interrupted
+// sweeps only pay for points they have never computed.
+//
+// Layout: the cache directory holds shards named "shard-xx.jsonl", where
+// xx is the first byte of the key in hex. Each line is one self-contained
+// record {schema, key, results}. Records are appended in a single write
+// (atomic on POSIX for append-mode files), and loads tolerate torn or
+// corrupted lines by skipping them — a crash mid-write costs at most the
+// record being written. Records whose schema version differs from
+// SchemaVersion are ignored at load, which is how code changes that alter
+// simulation semantics invalidate stale caches.
+package results
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"breakhammer/internal/sim"
+	"breakhammer/internal/workload"
+)
+
+// SchemaVersion is baked into every record and every key. Bump it when a
+// change to the simulator alters what a stored result means (new metrics,
+// semantic fixes); old shards are then skipped at load instead of serving
+// stale numbers.
+const SchemaVersion = 1
+
+// Key returns the content address of one experiment point: a hex SHA-256
+// over the schema version and the canonical fingerprint of (config,
+// mixes). The fingerprint is field-order independent (see
+// sim.Fingerprint), so reordering struct fields in source does not orphan
+// an existing cache.
+func Key(cfg sim.Config, mixes []workload.Mix) (string, error) {
+	fp, err := sim.Fingerprint(cfg, mixes)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "schema:%d|", SchemaVersion)
+	h.Write(fp)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits    int64 // Get calls answered from the store
+	Misses  int64 // Get calls that found nothing
+	Written int64 // records persisted by Put
+	Loaded  int64 // records recovered from disk at Open
+	Skipped int64 // corrupt or stale-schema lines ignored at Open
+}
+
+// Store is a write-through results cache: an in-memory map in front of
+// JSON-lines shards on disk. The zero value is not usable; construct with
+// Open or NewMemory. All methods are safe for concurrent use.
+type Store struct {
+	dir string // "" = memory-only
+
+	mu      sync.Mutex
+	mem     map[string][]sim.MixResult
+	rawMem  map[string]json.RawMessage
+	hits    int64
+	misses  int64
+	written int64
+	loaded  int64
+	skipped int64
+}
+
+// record is one JSONL line: either a simulation-point record (Results
+// set) or a raw record (Raw set) holding an experiment's rendered output
+// for results that are not a plain []sim.MixResult (e.g. the §5
+// multi-threaded-attack table, which instruments the system with hooks).
+type record struct {
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	Results []sim.MixResult `json:"results,omitempty"`
+	Raw     json.RawMessage `json:"raw,omitempty"`
+}
+
+// NewMemory returns a store with no backing directory: it behaves exactly
+// like the persistent store minus durability, and is what the experiment
+// runner uses when no cache directory is configured.
+func NewMemory() *Store {
+	return &Store{mem: make(map[string][]sim.MixResult), rawMem: make(map[string]json.RawMessage)}
+}
+
+// Open creates dir if needed, loads every parseable record with the
+// current schema version from its shards, and returns the write-through
+// store. Corrupt lines (torn writes, truncation, garbage) and records
+// from other schema versions are counted in Stats.Skipped and otherwise
+// ignored — a damaged shard degrades to recomputing its points, never to
+// an error.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return NewMemory(), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	s := &Store{dir: dir, mem: make(map[string][]sim.MixResult), rawMem: make(map[string]json.RawMessage)}
+	shards, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	sort.Strings(shards)
+	for _, shard := range shards {
+		if err := s.loadShard(shard); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// loadShard replays one shard file into memory. Later records win over
+// earlier ones with the same key, so recomputed points (e.g. after a
+// -resume=false run) supersede their predecessors without compaction.
+func (s *Store) loadShard(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec record
+			jsonErr := json.Unmarshal(line, &rec)
+			switch {
+			case jsonErr != nil || rec.Schema != SchemaVersion || rec.Key == "":
+				s.skipped++
+			case rec.Raw != nil:
+				s.rawMem[rec.Key] = rec.Raw
+				s.loaded++
+			case rec.Results != nil:
+				s.mem[rec.Key] = rec.Results
+				s.loaded++
+			default:
+				s.skipped++
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("results: reading %s: %w", path, err)
+		}
+	}
+}
+
+// Dir returns the backing directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of records (points and raw entries) currently
+// held in memory.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem) + len(s.rawMem)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Hits: s.hits, Misses: s.misses, Written: s.written,
+		Loaded: s.loaded, Skipped: s.skipped}
+}
+
+// Get returns the stored results for key, if any.
+func (s *Store) Get(key string) ([]sim.MixResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.mem[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return rs, ok
+}
+
+// Put stores the results for key in memory and, for a persistent store,
+// appends one record to the key's shard. The record — including its
+// trailing newline — is written with a single write call on an
+// append-mode descriptor, so concurrent writers (even across processes
+// sharing one cache directory) interleave at record granularity rather
+// than corrupting each other.
+func (s *Store) Put(key string, rs []sim.MixResult) error {
+	// An empty slice is rejected alongside nil: with the omitempty wire
+	// encoding it would persist as a record loadShard classifies as
+	// corrupt, permanently re-simulating the point.
+	if key == "" || len(rs) == 0 {
+		return fmt.Errorf("results: refusing to store empty key or empty results")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = rs
+	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Results: rs})
+}
+
+// GetRaw returns the raw record stored under key, if any. Raw records
+// live in a separate namespace from simulation points and hold arbitrary
+// JSON — typically a rendered Table for experiments whose output is not
+// a []sim.MixResult.
+func (s *Store) GetRaw(key string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.rawMem[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return raw, ok
+}
+
+// PutRaw stores an arbitrary JSON value under key with the same
+// durability and atomicity as Put.
+func (s *Store) PutRaw(key string, raw json.RawMessage) error {
+	if key == "" || len(raw) == 0 {
+		return fmt.Errorf("results: refusing to store empty key or empty raw record")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rawMem[key] = raw
+	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Raw: raw})
+}
+
+// appendLocked persists one record; the caller holds s.mu.
+func (s *Store) appendLocked(rec record) error {
+	if s.dir == "" {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	f, err := os.OpenFile(s.shardPath(rec.Key), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	s.written++
+	return nil
+}
+
+// Reset drops every in-memory entry (and the Loaded counter) while
+// leaving the shards on disk untouched. Subsequent Puts append fresh
+// records that supersede the old ones at the next Open — this is the
+// engine behind "-resume=false": recompute everything, but keep writing
+// through.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem = make(map[string][]sim.MixResult)
+	s.rawMem = make(map[string]json.RawMessage)
+	s.loaded = 0
+}
+
+// shardPath maps a key to its shard file by the first hex byte.
+func (s *Store) shardPath(key string) string {
+	prefix := "00"
+	if len(key) >= 2 && isHex(key[:2]) {
+		prefix = strings.ToLower(key[:2])
+	}
+	return filepath.Join(s.dir, "shard-"+prefix+".jsonl")
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

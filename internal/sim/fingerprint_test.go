@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"breakhammer/internal/workload"
+)
+
+// TestCanonicalJSONFieldOrderIndependent pins the property the persistent
+// experiment store's keys depend on: reordering struct fields in source
+// must not change the canonical encoding.
+func TestCanonicalJSONFieldOrderIndependent(t *testing.T) {
+	type ab struct {
+		A int
+		B string
+		C []float64
+	}
+	type ba struct {
+		C []float64
+		B string
+		A int
+	}
+	x, err := canonicalJSON(ab{A: 7, B: "s", C: []float64{1, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := canonicalJSON(ba{A: 7, B: "s", C: []float64{1, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x, y) {
+		t.Errorf("canonical JSON depends on field order:\n%s\n%s", x, y)
+	}
+}
+
+// TestFingerprintNormalizesDefaults: a defaulted knob and its explicit
+// default value describe the same simulation and must share a
+// fingerprint, or sweeps cache (and run) the point twice.
+func TestFingerprintNormalizesDefaults(t *testing.T) {
+	base := FastConfig()
+	explicit := base
+	explicit.BHThreat = 32
+	explicit.BHOutlier = 0.65
+	explicit.ThrottleAt = "mshr"
+	explicit.AddressMap = "mop"
+	explicit.RowPressFactor = 1
+	a, err := Fingerprint(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(explicit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("explicit Table 2 defaults fingerprint differently from zero values")
+	}
+	nonDefault := base
+	nonDefault.BHThreat = 512
+	c, err := Fingerprint(nonDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("fingerprint ignores a non-default BHThreat")
+	}
+}
+
+func TestFingerprintDistinguishesPoints(t *testing.T) {
+	cfg := FastConfig()
+	mixes := workload.AttackMixes(1)
+	a, err := Fingerprint(cfg, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(cfg, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("fingerprint is not deterministic")
+	}
+	cfg2 := cfg
+	cfg2.NRH = cfg.NRH + 1
+	c, err := Fingerprint(cfg2, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("fingerprint ignores NRH")
+	}
+	d, err := Fingerprint(cfg, workload.BenignMixes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, d) {
+		t.Error("fingerprint ignores the mixes")
+	}
+}

@@ -5,9 +5,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // WeightedSpeedup returns Σ IPC_shared[i] / IPC_alone[i] over the threads
@@ -190,6 +192,66 @@ func (h *Histogram) Percentile(p float64) float64 {
 		}
 	}
 	return float64(len(h.buckets)) * h.width
+}
+
+// histogramJSON is the wire form of a Histogram: the fixed shape plus a
+// sparse bucket map, since latency histograms are overwhelmingly zeros.
+// It exists so simulation results survive a JSON round-trip through the
+// persistent experiment store (internal/results).
+type histogramJSON struct {
+	Width    float64          `json:"width"`
+	Buckets  int              `json:"buckets"`
+	Counts   map[string]int64 `json:"counts,omitempty"`
+	Overflow int64            `json:"overflow,omitempty"`
+	Count    int64            `json:"count"`
+	Sum      float64          `json:"sum"`
+	Max      float64          `json:"max"`
+}
+
+// MarshalJSON encodes the histogram in a sparse, shape-preserving form.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	w := histogramJSON{
+		Width:    h.width,
+		Buckets:  len(h.buckets),
+		Overflow: h.overflow,
+		Count:    h.count,
+		Sum:      h.sum,
+		Max:      h.max,
+	}
+	for i, v := range h.buckets {
+		if v != 0 {
+			if w.Counts == nil {
+				w.Counts = make(map[string]int64)
+			}
+			w.Counts[strconv.Itoa(i)] = v
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Width <= 0 || w.Buckets <= 0 {
+		return fmt.Errorf("stats: bad histogram shape %gx%d in JSON", w.Width, w.Buckets)
+	}
+	h.width = w.Width
+	h.buckets = make([]int64, w.Buckets)
+	h.overflow = w.Overflow
+	h.count = w.Count
+	h.sum = w.Sum
+	h.max = w.Max
+	for k, v := range w.Counts {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= len(h.buckets) {
+			return fmt.Errorf("stats: bad histogram bucket index %q", k)
+		}
+		h.buckets[i] = v
+	}
+	return nil
 }
 
 // ConfidenceInterval returns the full min-max band around the mean, which

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -167,5 +168,41 @@ func TestConfidenceInterval(t *testing.T) {
 	mean, lo, hi := ConfidenceInterval([]float64{1, 2, 3})
 	if !almostEq(mean, 2) || lo != 1 || hi != 3 {
 		t.Errorf("CI = (%g, %g, %g), want (2, 1, 3)", mean, lo, hi)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, ns := range []float64{3, 3, 120, 9000, 20000, 1e9} {
+		h.Add(ns)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Max() != h.Max() || !almostEq(back.Mean(), h.Mean()) {
+		t.Errorf("summary stats changed: count %d->%d max %g->%g mean %g->%g",
+			h.Count(), back.Count(), h.Max(), back.Max(), h.Mean(), back.Mean())
+	}
+	for _, p := range []float64{0, 50, 90, 99, 100} {
+		if got, want := back.Percentile(p), h.Percentile(p); got != want {
+			t.Errorf("P%g = %g after round trip, want %g", p, got, want)
+		}
+	}
+	// A restored histogram merges with a fresh one (shape preserved).
+	back.AddHistogram(NewLatencyHistogram())
+}
+
+func TestHistogramJSONRejectsBadShape(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"width":0,"buckets":0}`), &h); err == nil {
+		t.Error("zero-shape histogram accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"width":1,"buckets":4,"counts":{"9":1},"count":1}`), &h); err == nil {
+		t.Error("out-of-range bucket index accepted")
 	}
 }
