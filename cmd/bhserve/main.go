@@ -1,0 +1,133 @@
+// bhserve runs the BreakHammer experiment service: an HTTP server that
+// renders any paper figure from the content-addressed results store on
+// demand, computes missing figures in deduplicated background jobs, and
+// streams per-point progress over Server-Sent Events (see
+// internal/serve). Figures are served as exp.Table.JSON(), byte-
+// identical to `bhsweep -json` for the same configuration, so the
+// server and the CLI interoperate on one cache directory and one wire
+// format.
+//
+// Usage:
+//
+//	bhserve -cache-dir ~/.bhcache                 # serve on :8077
+//	bhserve -cache-dir c -preset quick -jobs 4    # smoke-scale points
+//	bhserve -cache-dir c -preset paper            # paper-scale service
+//	curl localhost:8077/api/figures               # catalogue + coverage
+//	curl localhost:8077/api/figures/fig8          # figure or 202 ticket
+//	curl -N localhost:8077/api/jobs/job-1/events  # live progress (SSE)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"breakhammer/internal/exp"
+	"breakhammer/internal/results"
+	"breakhammer/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bhserve: ")
+
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "results store directory shared with bhsweep/bhsim (empty: memory-only, nothing survives a restart)")
+		preset     = flag.String("preset", "default", "experiment scale preset: default, quick or paper")
+		mixes      = flag.Int("mixes", 0, "workload mixes per group (0 = preset default; paper: 15)")
+		channels   = flag.Int("channels", 0, "memory channels per experiment point (0 = preset default)")
+		insts      = flag.Int64("insts", 0, "instructions per benign core (0 = preset default)")
+		nrhs       = flag.String("nrhs", "", "comma-separated N_RH sweep (empty = preset default)")
+		mechs      = flag.String("mechs", "", "comma-separated mechanisms (empty = preset default)")
+		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently per figure job (0 = auto)")
+		figureJobs = flag.Int("figure-jobs", 2, "figure jobs computed concurrently")
+		compact    = flag.Bool("compact", true, "compact the store's shards at startup (drops superseded records)")
+	)
+	flag.Parse()
+
+	opts, err := exp.OptionSpec{
+		Preset:     *preset,
+		Mixes:      *mixes,
+		Channels:   *channels,
+		Insts:      *insts,
+		NRHs:       *nrhs,
+		Mechanisms: *mechs,
+	}.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store, err := results.Open(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cacheDir == "" {
+		log.Print("no -cache-dir: results live in memory only and die with the server")
+	} else {
+		st := store.Stats()
+		log.Printf("store %s: %d record(s) loaded, %d skipped", *cacheDir, st.Loaded, st.Skipped)
+		if *compact {
+			// Opportunistic startup compaction: a long-running server is
+			// the natural owner of the shards' housekeeping — but never
+			// while other workers hold claims, since compaction rewrites
+			// shards from this process's snapshot and would drop records
+			// a mid-sweep fleet appends concurrently.
+			live, err := store.LiveClaims(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if live > 0 {
+				log.Printf("skipping startup compaction: %d live claim(s) — another worker is mid-sweep", live)
+			} else {
+				res, err := store.Compact()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if res.Dropped > 0 {
+					log.Printf("compacted %d shard(s): dropped %d superseded line(s), kept %d record(s)",
+						res.Shards, res.Dropped, res.Kept)
+				}
+			}
+		}
+	}
+
+	runner := exp.NewRunnerWithStore(opts, store)
+	runner.SetJobs(*jobs)
+	srv := serve.New(runner, *figureJobs)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Restore the default signal handler right away: shutdown waits
+		// for in-flight simulation points, so a second Ctrl-C must kill
+		// the process instead of being swallowed.
+		stop()
+		log.Print("shutting down: cancelling background jobs (Ctrl-C again to force quit)")
+		// Cancel jobs before draining connections: open SSE streams wait
+		// on their job's completion, so cancelling first finishes the
+		// jobs, terminates the streams, and lets Shutdown return without
+		// burning its whole timeout.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving %d experiments on %s (preset %s)", len(exp.Experiments()), *addr, *preset)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err) // bind/accept failure: the shutdown goroutine never ran
+	}
+	<-shutdownDone
+	log.Print("shutdown complete")
+}

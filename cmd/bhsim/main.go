@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"breakhammer"
 	"breakhammer/internal/results"
@@ -72,12 +73,18 @@ func main() {
 		res = cached[0]
 		log.Printf("served from cache %s", *cacheDir)
 	} else {
+		start := time.Now()
 		res, err = breakhammer.Run(cfg, mix)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *cacheDir != "" {
 			if err := store.Put(key, []breakhammer.MixResult{res}); err != nil {
+				log.Fatal(err)
+			}
+			// Feed the sweep ETA estimator: bhsweep and bhserve project
+			// remaining wall-clock from these per-point timings.
+			if err := store.RecordElapsed(key, time.Since(start)); err != nil {
 				log.Fatal(err)
 			}
 		}

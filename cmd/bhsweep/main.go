@@ -5,7 +5,10 @@
 // content-addressed store (see internal/results): repeated invocations
 // perform zero simulations, and an interrupted sweep resumes where it
 // died. -jobs bounds how many points simulate concurrently; -resume=false
-// ignores (and supersedes) previously cached points.
+// ignores (and supersedes) previously cached points; -compact rewrites
+// the store's shards dropping superseded records and exits. Workers (or
+// a bhserve instance) sharing one cache directory coordinate through
+// claim files, so a fleet splits a sweep without duplicating points.
 //
 // Usage:
 //
@@ -15,6 +18,8 @@
 //	bhsweep -mixes 3 -insts 1e6        # larger sweep
 //	bhsweep -cache-dir ~/.bhcache      # persistent, resumable sweep
 //	bhsweep -cache-dir c -jobs 4 -json # bounded pool, JSON export
+//	bhsweep -cache-dir c -paper        # paper-scale preset (cluster days)
+//	bhsweep -cache-dir c -compact      # maintenance: compact the shards
 package main
 
 import (
@@ -24,16 +29,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"breakhammer"
 	"breakhammer/internal/exp"
 	"breakhammer/internal/results"
 )
-
-type experiment struct {
-	name string
-	run  func(r *exp.Runner) (exp.Table, error)
-}
 
 func main() {
 	log.SetFlags(0)
@@ -41,49 +42,63 @@ func main() {
 
 	var (
 		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6 or 'all'")
-		mixes    = flag.Int("mixes", 1, "workload mixes per group (paper: 15)")
-		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = default)")
-		channels = flag.Int("channels", 1, "memory channels for every experiment point (power of two)")
+		mixes    = flag.Int("mixes", 0, "workload mixes per group (0 = preset default; paper: 15)")
+		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = preset default)")
+		channels = flag.Int("channels", 0, "memory channels for every experiment point (power of two; 0 = preset default)")
 		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
 		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of ASCII")
 		outDir   = flag.String("out", "", "write one file per experiment into this directory")
 		quick    = flag.Bool("quick", false, "minimal smoke-test sweep")
+		paper    = flag.Bool("paper", false, "paper-scale sweep: full Table 1 system, 15 mixes/group, seven N_RH values (cluster days; pair with -cache-dir)")
 		cacheDir = flag.String("cache-dir", "", "persist simulation results here; repeated sweeps recompute nothing")
 		resume   = flag.Bool("resume", true, "with -cache-dir: serve previously completed points from the cache (false recomputes and supersedes them)")
 		jobs     = flag.Int("jobs", 0, "configuration points simulated concurrently (0 = auto: ~GOMAXPROCS/4, since each point also parallelizes across its mixes)")
-		progress = flag.Bool("progress", true, "stream per-point progress to stderr")
+		progress = flag.Bool("progress", true, "stream per-point progress (with ETA) to stderr")
+		compact  = flag.Bool("compact", false, "with -cache-dir: compact the store's shards (drop superseded records) and exit")
 	)
 	flag.Parse()
 	if *csvOut && *jsonOut {
 		log.Fatal("-csv and -json are mutually exclusive")
 	}
-	if *mixes < 1 {
-		log.Fatalf("-mixes must be at least 1, got %d", *mixes)
+	if *quick && *paper {
+		log.Fatal("-quick and -paper are mutually exclusive")
+	}
+	if *compact {
+		if *cacheDir == "" {
+			log.Fatal("-compact requires -cache-dir")
+		}
+		store, err := results.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := store.Compact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("compacted %s: %d shard(s), kept %d record(s), dropped %d superseded line(s)",
+			*cacheDir, res.Shards, res.Kept, res.Dropped)
+		return
 	}
 
-	opts := exp.DefaultOptions()
-	if *quick {
-		opts = exp.QuickOptions()
+	preset := "default"
+	switch {
+	case *quick:
+		preset = "quick"
+	case *paper:
+		preset = "paper"
 	}
-	opts.MixesPerGroup = *mixes
-	opts.Base.Channels = *channels
-	if *insts > 0 {
-		opts.Base.TargetInsts = *insts
-	}
-	if *nrhs != "" {
-		opts.NRHs = opts.NRHs[:0]
-		for _, s := range strings.Split(*nrhs, ",") {
-			var v int
-			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
-				log.Fatalf("bad -nrhs entry %q", s)
-			}
-			opts.NRHs = append(opts.NRHs, v)
-		}
-	}
-	if *mechs != "" {
-		opts.Mechanisms = strings.Split(*mechs, ",")
+	opts, err := exp.OptionSpec{
+		Preset:     preset,
+		Mixes:      *mixes,
+		Channels:   *channels,
+		Insts:      *insts,
+		NRHs:       *nrhs,
+		Mechanisms: *mechs,
+	}.Resolve()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	store, err := results.Open(*cacheDir)
@@ -96,47 +111,32 @@ func main() {
 	runner := exp.NewRunnerWithStore(opts, store)
 	runner.SetJobs(*jobs)
 	var reusedPoints int
-	runner.SetProgress(func(done, total int, p exp.Point, cached bool) {
-		if cached {
+	runner.SetProgress(func(e exp.Event) {
+		if e.Type != exp.PointFinished {
+			return
+		}
+		if e.Cached {
 			reusedPoints++
 		}
 		if *progress {
 			suffix := ""
-			if cached {
+			if e.Cached {
 				suffix = " (cached)"
+			} else {
+				suffix = fmt.Sprintf(" (%.1fs)", e.Elapsed().Seconds())
 			}
-			log.Printf("point %d/%d: %s%s", done, total, p, suffix)
+			if eta := e.ETA(); eta > 0 {
+				suffix += fmt.Sprintf(" [eta %s]", eta.Round(time.Second))
+			}
+			log.Printf("point %d/%d: %s%s", e.Done, e.Total, e.Label, suffix)
 		}
 	})
 
-	all := []experiment{
-		{"table1", func(*exp.Runner) (exp.Table, error) { return exp.Table1(opts.Base), nil }},
-		{"table2", func(*exp.Runner) (exp.Table, error) { return exp.Table2(opts.Base), nil }},
-		{"table3", (*exp.Runner).Table3},
-		{"2", (*exp.Runner).Figure2},
-		{"5", func(*exp.Runner) (exp.Table, error) { return exp.Figure5(), nil }},
-		{"6", (*exp.Runner).Figure6},
-		{"7", (*exp.Runner).Figure7},
-		{"8", (*exp.Runner).Figure8},
-		{"9", (*exp.Runner).Figure9},
-		{"10", (*exp.Runner).Figure10},
-		{"11", (*exp.Runner).Figure11},
-		{"12", (*exp.Runner).Figure12},
-		{"13", (*exp.Runner).Figure13},
-		{"14", (*exp.Runner).Figure14},
-		{"15", (*exp.Runner).Figure15},
-		{"16", (*exp.Runner).Figure16},
-		{"17", (*exp.Runner).Figure17},
-		{"18", (*exp.Runner).Figure18},
-		{"19", (*exp.Runner).Figure19},
-		{"sec5", (*exp.Runner).Section5},
-		{"sec6", func(*exp.Runner) (exp.Table, error) { return exp.Section6(), nil }},
-	}
-
+	all := exp.Experiments()
 	selected := map[string]bool{}
 	if *figs == "all" {
 		for _, e := range all {
-			selected[e.name] = true
+			selected[e.Name] = true
 		}
 	} else {
 		for _, f := range strings.Split(*figs, ",") {
@@ -157,8 +157,8 @@ func main() {
 	// runs without simulating.
 	var names []string
 	for _, e := range all {
-		if selected[e.name] {
-			names = append(names, e.name)
+		if selected[e.Name] {
+			names = append(names, e.Name)
 		}
 	}
 	if err := runner.Prefetch(runner.PointsFor(names)); err != nil {
@@ -167,12 +167,12 @@ func main() {
 	_ = breakhammer.Mechanisms() // façade linkage sanity
 
 	for _, e := range all {
-		if !selected[e.name] {
+		if !selected[e.Name] {
 			continue
 		}
-		tbl, err := e.run(runner)
+		tbl, err := e.Run(runner)
 		if err != nil {
-			log.Fatalf("experiment %s: %v", e.name, err)
+			log.Fatalf("experiment %s: %v", e.Name, err)
 		}
 		var text, ext string
 		switch {
@@ -184,7 +184,7 @@ func main() {
 			text, ext = tbl.String(), ".txt"
 		}
 		if *outDir != "" {
-			path := filepath.Join(*outDir, "experiment_"+e.name+ext)
+			path := filepath.Join(*outDir, "experiment_"+e.Name+ext)
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 				log.Fatal(err)
 			}

@@ -52,7 +52,7 @@ func main() {
 			log.Fatal(err)
 		}
 		st := store.Stats()
-		fmt.Printf("%-12s %8.2fs   %2d point(s) simulated, %2d resumed from disk\n",
+		fmt.Printf("%-12s %8.2fs   %2d point(s) simulated, %2d record(s) resumed from disk\n",
 			label, time.Since(start).Seconds(), runner.Executed(), st.Loaded)
 	}
 

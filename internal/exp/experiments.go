@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"breakhammer/internal/results"
+	"breakhammer/internal/sim"
+)
+
+// Experiment is one named, runnable entry of the paper's evaluation —
+// the catalogue bhsweep's -figs flag and bhserve's /api/figures both
+// dispatch through.
+type Experiment struct {
+	Name   string // bhsweep -figs name: "2".."19", "table1".."table3", "sec5", "sec6"
+	Title  string // one-line display title
+	Static bool   // computed from closed-form models only; no simulation behind it
+	Run    func(*Runner) (Table, error)
+}
+
+// Experiments returns the full catalogue in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: simulated system configuration", true,
+			func(r *Runner) (Table, error) { return Table1(r.opts.Base), nil }},
+		{"table2", "Table 2: BreakHammer configuration", true,
+			func(r *Runner) (Table, error) { return Table2(r.opts.Base), nil }},
+		{"table3", "Table 3: workload characterisation", false, (*Runner).Table3},
+		{"2", "Figure 2: mitigation overhead on benign workloads vs N_RH (no attacker)", false, (*Runner).Figure2},
+		{"5", "Figure 5: max undetected attacker score vs attacker thread share", true,
+			func(*Runner) (Table, error) { return Figure5(), nil }},
+		{"6", "Figure 6: normalized weighted speedup of benign applications (attacker present)", false, (*Runner).Figure6},
+		{"7", "Figure 7: normalized unfairness on benign applications (attacker present)", false, (*Runner).Figure7},
+		{"8", "Figure 8: weighted speedup of benign applications vs N_RH (attacker present)", false, (*Runner).Figure8},
+		{"9", "Figure 9: unfairness on benign applications vs N_RH (attacker present)", false, (*Runner).Figure9},
+		{"10", "Figure 10: RowHammer-preventive actions vs N_RH (attacker present)", false, (*Runner).Figure10},
+		{"11", "Figure 11: benign memory latency percentiles (ns), attacker present", false, (*Runner).Figure11},
+		{"12", "Figure 12: DRAM energy vs N_RH (attacker present)", false, (*Runner).Figure12},
+		{"13", "Figure 13: normalized weighted speedup (no attacker)", false, (*Runner).Figure13},
+		{"14", "Figure 14: normalized unfairness (no attacker)", false, (*Runner).Figure14},
+		{"15", "Figure 15: weighted speedup of mech+BH vs bare mech (no attacker) by N_RH", false, (*Runner).Figure15},
+		{"16", "Figure 16: unfairness of mech+BH vs bare mech (no attacker) by N_RH", false, (*Runner).Figure16},
+		{"17", "Figure 17: benign memory latency percentiles (ns), no attacker", false, (*Runner).Figure17},
+		{"18", "Figure 18: BreakHammer-paired mechanisms vs BlockHammer (attacker present)", false, (*Runner).Figure18},
+		{"19", "Figure 19: sensitivity to TH_threat (graphene+BH)", false, (*Runner).Figure19},
+		{"sec5", "Section 5: multi-threaded attack scenarios (graphene+BH)", false, (*Runner).Section5},
+		{"sec6", "Section 6: hardware complexity", true,
+			func(*Runner) (Table, error) { return Section6(), nil }},
+	}
+}
+
+// ExperimentByName looks an experiment up in the catalogue.
+func ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Coverage reports the store coverage of the named experiment: how many
+// of the records it reads are already present versus how many it needs
+// in total. Point-sweep figures count simulation points; instrumented
+// experiments (Table 3, Section 5) count their one cached rendered
+// table; static experiments report (0, 0) — always fully covered. An
+// experiment whose cached count equals its total renders without
+// simulating anything.
+func (r *Runner) Coverage(name string) (cached, total int, err error) {
+	switch name {
+	case "table3":
+		return r.rawCoverage("table3", r.opts.Base)
+	case "sec5":
+		return r.rawCoverage("sec5", r.section5Config())
+	}
+	keys, err := r.experimentKeys(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(keys) == 0 {
+		return 0, 0, nil
+	}
+	return r.store.Coverage(keys), len(keys), nil
+}
+
+// experimentKeys returns the memoized content keys of the named
+// experiment's points. Keys are pure functions of the runner's immutable
+// Options, so they are derived once; a server listing its catalogue on
+// every page poll must not re-fingerprint the whole sweep each time.
+func (r *Runner) experimentKeys(name string) ([]string, error) {
+	r.keyMu.Lock()
+	defer r.keyMu.Unlock()
+	if keys, ok := r.pointKeys[name]; ok {
+		return keys, nil
+	}
+	points := r.PointsFor([]string{name})
+	keys := make([]string, 0, len(points))
+	for _, p := range points {
+		key, err := results.Key(r.configFor(p), r.mixes(p.Attack))
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, key)
+	}
+	r.pointKeys[name] = keys
+	return keys, nil
+}
+
+// rawCoverage is Coverage for the instrumented experiments stored as one
+// rendered table in the raw namespace; the key is memoized like the
+// point keys.
+func (r *Runner) rawCoverage(label string, cfg sim.Config) (cached, total int, err error) {
+	r.keyMu.Lock()
+	key, ok := r.rawKeys[label]
+	if !ok {
+		key, err = rawTableKey(label, cfg)
+		if err != nil {
+			r.keyMu.Unlock()
+			return 0, 0, err
+		}
+		r.rawKeys[label] = key
+	}
+	r.keyMu.Unlock()
+	if r.store.HasRaw(key) {
+		return 1, 1, nil
+	}
+	return 0, 1, nil
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"breakhammer/internal/sim"
+)
+
+// PaperOptions returns the paper-scale harness configuration: the full
+// Table 1 system (100M instructions, 64 ms throttling window) via
+// sim.DefaultConfig, 15 mixes per group (90 workloads), and the seven
+// N_RH values of the paper's sweeps. A full sweep at this scale takes
+// cluster days; it is meant to accumulate across invocations and
+// machines sharing one cache directory.
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Base = sim.DefaultConfig()
+	o.MixesPerGroup = 15
+	o.NRHs = []int{4096, 2048, 1024, 512, 256, 128, 64}
+	return o
+}
+
+// OptionSpec is the flag- and request-level description of a sweep
+// configuration: a named preset plus overrides. bhsweep and bhserve
+// both resolve their flags through it, so a server and a CLI pointed at
+// the same cache directory with the same spec address the same points.
+type OptionSpec struct {
+	Preset     string // "default" (or ""), "quick", "paper"
+	Mixes      int    // workload mixes per group; 0 = preset default
+	Channels   int    // memory channels; 0 = preset default
+	Insts      int64  // instructions per benign core; 0 = preset default
+	NRHs       string // comma-separated N_RH sweep; "" = preset default
+	Mechanisms string // comma-separated mechanism list; "" = preset default
+}
+
+// Resolve expands the spec into concrete Options, validating the preset
+// name and numeric overrides.
+func (sp OptionSpec) Resolve() (Options, error) {
+	var o Options
+	switch sp.Preset {
+	case "", "default":
+		o = DefaultOptions()
+	case "quick":
+		o = QuickOptions()
+	case "paper":
+		o = PaperOptions()
+	default:
+		return Options{}, fmt.Errorf("exp: unknown preset %q (want default, quick or paper)", sp.Preset)
+	}
+	if sp.Mixes < 0 {
+		return Options{}, fmt.Errorf("exp: mixes must be positive, got %d", sp.Mixes)
+	}
+	if sp.Mixes > 0 {
+		o.MixesPerGroup = sp.Mixes
+	}
+	if sp.Channels > 0 {
+		o.Base.Channels = sp.Channels
+	}
+	if sp.Insts > 0 {
+		o.Base.TargetInsts = sp.Insts
+	}
+	if sp.NRHs != "" {
+		o.NRHs = o.NRHs[:0]
+		for _, s := range strings.Split(sp.NRHs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				return Options{}, fmt.Errorf("exp: bad N_RH entry %q", s)
+			}
+			o.NRHs = append(o.NRHs, v)
+		}
+	}
+	if sp.Mechanisms != "" {
+		o.Mechanisms = o.Mechanisms[:0]
+		for _, m := range strings.Split(sp.Mechanisms, ",") {
+			o.Mechanisms = append(o.Mechanisms, strings.TrimSpace(m))
+		}
+	}
+	return o, nil
+}

@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"breakhammer/internal/results"
 	"breakhammer/internal/sim"
+	"breakhammer/internal/stats"
 )
 
 // Point identifies one cacheable configuration point of the evaluation: a
@@ -15,11 +18,11 @@ import (
 // runner's Options it determines the full sim.Config and mix list, and
 // therefore the point's content address in the results store.
 type Point struct {
-	Mech     string  // mitigation mechanism ("none" for the baseline)
-	NRH      int     // RowHammer threshold
-	BH       bool    // BreakHammer paired with the mechanism
-	Attack   bool    // attacker mix family (false = all-benign)
-	BHThreat float64 // 0 = Table 2 default; Fig. 19 sweeps this
+	Mech     string  `json:"mech"`                // mitigation mechanism ("none" for the baseline)
+	NRH      int     `json:"nrh"`                 // RowHammer threshold
+	BH       bool    `json:"bh,omitempty"`        // BreakHammer paired with the mechanism
+	Attack   bool    `json:"attack,omitempty"`    // attacker mix family (false = all-benign)
+	BHThreat float64 `json:"bh_threat,omitempty"` // 0 = Table 2 default; Fig. 19 sweeps this
 }
 
 // String renders the point for progress lines and errors.
@@ -164,14 +167,33 @@ func (r *Runner) PointsFor(names []string) []Point {
 // misses in a worker pool bounded by SetJobs that spans points (each
 // point's mixes additionally run in parallel). Completed points persist
 // immediately, so a killed sweep resumes where it died. The first
-// simulation error aborts the remaining points and is returned.
+// simulation error aborts the remaining points and is returned. Progress
+// streams to the callback installed with SetProgress.
 //
 // Points are deduplicated by store key, not by Point value, so two
 // spellings of the same simulation (e.g. Fig. 19's TH_threat=32 column
 // versus Fig. 9's default-threat points) cannot run twice concurrently.
 func (r *Runner) Prefetch(points []Point) error {
+	return r.PrefetchContext(context.Background(), points, nil)
+}
+
+// PrefetchContext is Prefetch with cancellation and an optional per-call
+// progress callback (nil falls back to the runner's SetProgress
+// callback). Cancelling ctx stops picking up new points — points already
+// simulating run to completion and persist — and the context error is
+// returned. Per-call progress is what lets one runner serve several
+// concurrent sweeps (bhserve streams each job's events to its own
+// clients).
+func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress ProgressFunc) error {
+	if progress == nil {
+		progress = r.progress
+	}
+	type pointJob struct {
+		p   Point
+		key string
+	}
 	seen := map[string]bool{}
-	var uniq []Point
+	var uniq []pointJob
 	for _, p := range points {
 		key, err := results.Key(r.configFor(p), r.mixes(p.Attack))
 		if err != nil {
@@ -179,7 +201,7 @@ func (r *Runner) Prefetch(points []Point) error {
 		}
 		if !seen[key] {
 			seen[key] = true
-			uniq = append(uniq, p)
+			uniq = append(uniq, pointJob{p: p, key: key})
 		}
 	}
 	jobs := r.jobs
@@ -195,39 +217,86 @@ func (r *Runner) Prefetch(points []Point) error {
 			jobs = 2
 		}
 	}
+	// ETA bookkeeping: the estimator averages per-point wall-clock
+	// seconds, seeded from the timings earlier runs recorded for any of
+	// the sweep's points — cached points' timings estimate the scale of
+	// the missing ones — so a resumed sweep projects before its first
+	// simulation finishes.
+	est := &stats.RunningMean{}
+	missing := map[string]bool{}
+	for _, j := range uniq {
+		if d, ok := r.store.Elapsed(j.key); ok {
+			est.Add(d.Seconds())
+		}
+		if !r.store.Has(j.key) {
+			missing[j.key] = true
+		}
+	}
 	sem := make(chan struct{}, jobs)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		done     int
+		pending  = len(missing) // missing points not yet finished
 		firstErr error
 	)
-	for _, p := range uniq {
+	total := len(uniq)
+	// emit runs under mu so callers see serialized, ordered events.
+	emit := func(e Event) {
+		if progress != nil {
+			progress(e)
+		}
+	}
+	for _, j := range uniq {
 		wg.Add(1)
-		go func(p Point) {
+		go func(j pointJob) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			mu.Lock()
-			abort := firstErr != nil
+			abort := firstErr != nil || ctx.Err() != nil
+			if !abort {
+				emit(Event{Type: PointStarted, Done: done, Total: total, Point: j.p, Label: j.p.String()})
+			}
 			mu.Unlock()
 			if abort {
 				return
 			}
-			_, cached, err := r.point(p)
+			start := time.Now()
+			_, cached, err := r.pointCtx(ctx, j.p)
+			elapsed := time.Since(start)
 			mu.Lock()
+			defer mu.Unlock()
 			done++
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
 			}
-			// The callback runs under the pool lock so callers see
-			// serialized, ordered notifications.
-			if err == nil && r.progress != nil {
-				r.progress(done, len(uniq), p, cached)
+			if missing[j.key] {
+				pending--
 			}
-			mu.Unlock()
-		}(p)
+			if !cached {
+				est.Add(elapsed.Seconds())
+			}
+			e := Event{Type: PointFinished, Done: done, Total: total, Point: j.p,
+				Label: j.p.String(), Cached: cached, ElapsedNS: elapsed.Nanoseconds()}
+			if est.N() > 0 && pending > 0 {
+				// Outstanding points overlap across the pool; divide the
+				// serial projection by the effective parallelism.
+				par := jobs
+				if par > pending {
+					par = pending
+				}
+				e.EstimateNS = int64(est.Mean() * float64(pending) / float64(par) * 1e9)
+			}
+			emit(e)
+		}(j)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,385 @@
+package exp
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"breakhammer/internal/results"
+	"breakhammer/internal/sim"
+)
+
+// tinyOptions returns the smallest useful sweep configuration: figure
+// "13" enumerates two points per mechanism at one N_RH.
+func tinyOptions() Options {
+	o := testOptions()
+	o.Mechanisms = []string{"rfm"}
+	o.NRHs = []int{128}
+	return o
+}
+
+// TestPrefetchEmitsTypedEvents: every point produces exactly one started
+// and one finished event, in a serialized stream with coherent counters;
+// simulated points report wall-clock, cached reruns report cached.
+func TestPrefetchEmitsTypedEvents(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	points := r.PointsFor([]string{"13"})
+	var events []Event
+	r.SetProgress(func(e Event) { events = append(events, e) })
+	if err := r.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+	var started, finished int
+	lastDone := 0
+	for _, e := range events {
+		switch e.Type {
+		case PointStarted:
+			started++
+			if e.Total != len(points) || e.Label == "" {
+				t.Errorf("started event malformed: %+v", e)
+			}
+		case PointFinished:
+			finished++
+			if e.Done != lastDone+1 {
+				t.Errorf("finished events out of order: done=%d after %d", e.Done, lastDone)
+			}
+			lastDone = e.Done
+			if e.Cached {
+				t.Errorf("cold run reported %s as cached", e.Label)
+			}
+			if e.Elapsed() <= 0 {
+				t.Errorf("simulated point %s has no wall-clock", e.Label)
+			}
+		default:
+			t.Errorf("unknown event type %q", e.Type)
+		}
+	}
+	if started != len(points) || finished != len(points) {
+		t.Fatalf("got %d started / %d finished events for %d points", started, finished, len(points))
+	}
+
+	// Warm rerun: same stream shape, everything cached.
+	events = nil
+	if err := r.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Type == PointFinished && !e.Cached {
+			t.Errorf("warm run simulated %s", e.Label)
+		}
+	}
+}
+
+// TestPrefetchETA: with one worker and several missing points, interior
+// finished events project the remaining wall-clock; the last one
+// projects nothing.
+func TestPrefetchETA(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	r.SetJobs(1)
+	points := r.PointsFor([]string{"13"})
+	if len(points) < 2 {
+		t.Fatalf("need >= 2 points, got %d", len(points))
+	}
+	var finished []Event
+	r.SetProgress(func(e Event) {
+		if e.Type == PointFinished {
+			finished = append(finished, e)
+		}
+	})
+	if err := r.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range finished[:len(finished)-1] {
+		if e.ETA() <= 0 {
+			t.Errorf("interior event %d/%d has no ETA", e.Done, e.Total)
+		}
+	}
+	if last := finished[len(finished)-1]; last.ETA() != 0 {
+		t.Errorf("final event projects %v remaining", last.ETA())
+	}
+}
+
+// TestPrefetchETASeededFromStore: a fresh runner over a partially warmed
+// directory projects from the timings recorded by the earlier run — its
+// very first finished event already carries an ETA, before this process
+// has any wall-clock sample of its own.
+func TestPrefetchETASeededFromStore(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOptions()
+	opts.Mechanisms = []string{"rfm", "graphene"} // 4 points for figure 13
+	store1, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunnerWithStore(opts, store1)
+	all := r1.PointsFor([]string{"13"})
+	if len(all) < 4 {
+		t.Fatalf("need >= 4 points, got %d", len(all))
+	}
+	if err := r1.Prefetch(all[:1]); err != nil {
+		t.Fatal(err)
+	}
+	key, err := results.Key(r1.configFor(all[0]), r1.mixes(all[0].Attack))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New process, same directory: the warmed point's timing is on disk,
+	// and with >= 2 points still missing even the first finished event —
+	// whichever point it is — leaves work outstanding, so the seeded
+	// estimator must project.
+	store2, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store2.Elapsed(key); !ok {
+		t.Fatal("per-point timing did not persist")
+	}
+	r2 := NewRunnerWithStore(opts, store2)
+	r2.SetJobs(1)
+	var finished []Event
+	r2.SetProgress(func(e Event) {
+		if e.Type == PointFinished {
+			finished = append(finished, e)
+		}
+	})
+	if err := r2.Prefetch(all); err != nil {
+		t.Fatal(err)
+	}
+	if len(finished) == 0 {
+		t.Fatal("no finished events")
+	}
+	if finished[0].ETA() <= 0 {
+		t.Errorf("first finished event has no store-seeded ETA: %+v", finished[0])
+	}
+}
+
+// TestPrefetchContextCancel: cancelling stops new points; the error
+// surfaces.
+func TestPrefetchContextCancel(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := r.PrefetchContext(ctx, r.PointsFor([]string{"13"}), nil)
+	if err == nil {
+		t.Fatal("cancelled prefetch returned nil")
+	}
+	if got := r.Executed(); got != 0 {
+		t.Errorf("cancelled-before-start prefetch simulated %d points", got)
+	}
+}
+
+// TestConcurrentPrefetchSharesSimulations: two runners on one cache
+// directory (two workers of a fleet) racing over the same points must
+// simulate each point exactly once between them — the in-flight claim
+// files make the loser wait and read the winner's record from disk.
+func TestConcurrentPrefetchSharesSimulations(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOptions()
+	mk := func() *Runner {
+		store, err := results.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunnerWithStore(opts, store)
+		r.claimPoll = 10 * time.Millisecond // fast re-probe keeps the test snappy
+		return r
+	}
+	r1, r2 := mk(), mk()
+	points := r1.PointsFor([]string{"13"})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, r := range []*Runner{r1, r2} {
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			errs[i] = r.Prefetch(points)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("runner %d: %v", i, err)
+		}
+	}
+	if got, want := r1.Executed()+r2.Executed(), int64(len(points)); got != want {
+		t.Errorf("two racing sweeps simulated %d points, want %d (claims failed to dedup)", got, want)
+	}
+}
+
+// TestResetRecomputesDespiteDiskRecords: the -resume=false path. After
+// store.Reset, a prefetch over a fully persisted sweep must re-simulate
+// every point — in particular, the post-claim disk re-probe must not
+// resurrect the invalidated records — and the recomputed records
+// supersede the old ones for the next open.
+func TestResetRecomputesDespiteDiskRecords(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOptions()
+	store1, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunnerWithStore(opts, store1)
+	points := r1.PointsFor([]string{"13"})
+	if err := r1.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2.Reset()
+	r2 := NewRunnerWithStore(opts, store2)
+	if err := r2.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r2.Executed(), int64(len(points)); got != want {
+		t.Errorf("reset sweep executed %d points, want %d (disk records resurrected)", got, want)
+	}
+
+	// The duplicates are live on disk; compaction collapses them.
+	store3, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store3.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != int64(2*len(points)) { // one point + one elapsed record each
+		t.Errorf("compaction dropped %d lines, want %d", res.Dropped, 2*len(points))
+	}
+}
+
+// TestCoverage: cold 0/N, warm N/N; instrumented experiments count their
+// cached table; static experiments report 0/0 (always ready).
+func TestCoverage(t *testing.T) {
+	dir := t.TempDir()
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerWithStore(tinyOptions(), store)
+	points := r.PointsFor([]string{"13"})
+
+	cached, total, err := r.Coverage("13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 || total != len(points) {
+		t.Errorf("cold coverage = %d/%d, want 0/%d", cached, total, len(points))
+	}
+	if err := r.Prefetch(points); err != nil {
+		t.Fatal(err)
+	}
+	cached, total, err = r.Coverage("13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != total || total != len(points) {
+		t.Errorf("warm coverage = %d/%d, want full", cached, total)
+	}
+
+	cached, total, err = r.Coverage("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 || total != 1 {
+		t.Errorf("cold table3 coverage = %d/%d, want 0/1", cached, total)
+	}
+	if _, err := r.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	cached, total, err = r.Coverage("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 1 || total != 1 {
+		t.Errorf("warm table3 coverage = %d/%d, want 1/1", cached, total)
+	}
+
+	cached, total, err = r.Coverage("table1")
+	if err != nil || cached != 0 || total != 0 {
+		t.Errorf("static coverage = %d/%d (%v), want 0/0", cached, total, err)
+	}
+}
+
+// TestExperimentsCatalogue: the catalogue is complete, unique, and
+// consistent with PointsFor's static/dynamic split.
+func TestExperimentsCatalogue(t *testing.T) {
+	all := Experiments()
+	if len(all) != 21 {
+		t.Fatalf("catalogue holds %d experiments, want 21", len(all))
+	}
+	r := NewRunner(QuickOptions())
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q missing title or runner", e.Name)
+		}
+		points := r.PointsFor([]string{e.Name})
+		isRaw := e.Name == "table3" || e.Name == "sec5"
+		if e.Static && (len(points) > 0 || isRaw) {
+			t.Errorf("static experiment %q needs simulations", e.Name)
+		}
+		if !e.Static && len(points) == 0 && !isRaw {
+			t.Errorf("experiment %q marked dynamic but enumerates no points", e.Name)
+		}
+	}
+	if _, ok := ExperimentByName("8"); !ok {
+		t.Error("ExperimentByName missed figure 8")
+	}
+	if _, ok := ExperimentByName("nope"); ok {
+		t.Error("ExperimentByName invented an experiment")
+	}
+}
+
+// TestOptionSpecResolve: presets, overrides, and rejection of bad input.
+func TestOptionSpecResolve(t *testing.T) {
+	def, err := OptionSpec{}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.MixesPerGroup != DefaultOptions().MixesPerGroup {
+		t.Error("empty spec does not resolve to the defaults")
+	}
+	paper, err := OptionSpec{Preset: "paper"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.Base.TargetInsts != sim.DefaultConfig().TargetInsts {
+		t.Error("paper preset not wired to sim.DefaultConfig scale")
+	}
+	if paper.MixesPerGroup != 15 || len(paper.NRHs) != 7 {
+		t.Errorf("paper preset = %d mixes, %d thresholds; want 15 and 7", paper.MixesPerGroup, len(paper.NRHs))
+	}
+	o, err := OptionSpec{Preset: "quick", Mixes: 3, Channels: 2, Insts: 5000, NRHs: "512, 64", Mechanisms: "rfm, para"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MixesPerGroup != 3 || o.Base.Channels != 2 || o.Base.TargetInsts != 5000 {
+		t.Errorf("overrides not applied: %+v", o)
+	}
+	if len(o.NRHs) != 2 || o.NRHs[0] != 512 || o.NRHs[1] != 64 {
+		t.Errorf("NRHs = %v", o.NRHs)
+	}
+	if len(o.Mechanisms) != 2 || o.Mechanisms[1] != "para" {
+		t.Errorf("Mechanisms = %v", o.Mechanisms)
+	}
+	for _, bad := range []OptionSpec{
+		{Preset: "huge"},
+		{NRHs: "512,potato"},
+		{NRHs: "-4"},
+		{Mixes: -1},
+	} {
+		if _, err := bad.Resolve(); err == nil {
+			t.Errorf("spec %+v resolved without error", bad)
+		}
+	}
+}

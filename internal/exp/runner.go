@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"breakhammer/internal/results"
 	"breakhammer/internal/sim"
@@ -97,19 +100,22 @@ func (o Options) midNRH() int {
 // simulates points the store has never seen. See PointsFor/Prefetch for
 // running whole sweeps in a bounded worker pool.
 type Runner struct {
-	opts     Options
-	store    *results.Store
-	jobs     int
-	progress ProgressFunc
-	executed int64 // simulation points actually run (not served from the store)
-}
+	opts      Options
+	store     *results.Store
+	jobs      int
+	progress  ProgressFunc
+	claimTTL  time.Duration // 0 = results.DefaultClaimTTL
+	claimPoll time.Duration // 0 = default; how often a waiter re-probes a claimed key
+	executed  int64         // simulation points actually run (not served from the store)
 
-// ProgressFunc receives one call per point completed by Prefetch. Calls
-// are serialized (the pool holds its lock while notifying, so keep the
-// callback cheap); done/total count deduplicated points and cached
-// reports whether the point was served from the store without
-// simulating.
-type ProgressFunc func(done, total int, p Point, cached bool)
+	// keyMu guards the memoized content-key lists behind Coverage. Keys
+	// are pure functions of the immutable Options, but deriving one
+	// means fingerprinting the full config + mixes and hashing it —
+	// too much to redo for every catalogue listing a server renders.
+	keyMu     sync.Mutex
+	pointKeys map[string][]string // experiment name -> point store keys
+	rawKeys   map[string]string   // raw-table label -> raw store key
+}
 
 // NewRunner builds a Runner memoizing into process memory only —
 // behaviourally identical to a persistent runner minus durability.
@@ -123,7 +129,12 @@ func NewRunnerWithStore(opts Options, store *results.Store) *Runner {
 	if store == nil {
 		store = results.NewMemory()
 	}
-	return &Runner{opts: opts, store: store}
+	return &Runner{
+		opts:      opts,
+		store:     store,
+		pointKeys: make(map[string][]string),
+		rawKeys:   make(map[string]string),
+	}
 }
 
 // Options returns the runner's options.
@@ -139,8 +150,15 @@ func (r *Runner) Store() *results.Store { return r.store }
 // are small or mixes few.
 func (r *Runner) SetJobs(n int) { r.jobs = n }
 
-// SetProgress installs a callback streamed by Prefetch as points finish.
+// SetProgress installs the default typed-event callback streamed by
+// Prefetch (PrefetchContext callers may override it per call).
 func (r *Runner) SetProgress(f ProgressFunc) { r.progress = f }
+
+// SetClaimTTL adjusts how old another worker's in-flight claim on a
+// shared cache directory must be before this runner steals it (<= 0
+// restores results.DefaultClaimTTL). Raise it for paper-scale points
+// that legitimately simulate for hours.
+func (r *Runner) SetClaimTTL(d time.Duration) { r.claimTTL = d }
 
 // Executed returns how many configuration points this runner actually
 // simulated (cache misses). A fully warm sweep reports zero.
@@ -163,21 +181,74 @@ func (r *Runner) results(mech string, nrh int, bh, attack bool) ([]sim.MixResult
 // point serves p from the store or simulates and persists it, reporting
 // whether the store already had it.
 func (r *Runner) point(p Point) (rs []sim.MixResult, cached bool, err error) {
+	return r.pointCtx(context.Background(), p)
+}
+
+// claimPollInterval returns how long a waiter sleeps between re-probing
+// a key claimed by another worker.
+func (r *Runner) claimPollInterval() time.Duration {
+	if r.claimPoll > 0 {
+		return r.claimPoll
+	}
+	return 200 * time.Millisecond
+}
+
+// pointCtx serves p from the store or simulates and persists it. Before
+// simulating it takes the store's in-flight claim for the point's key,
+// so concurrent sweeps — other goroutines sharing this store, or other
+// processes sharing the cache directory — run each missing point exactly
+// once: losers of the claim race wait for the holder and then read the
+// finished record (re-scanning the shard on disk for cross-process
+// writes). The wall-clock time of a simulated point is recorded in the
+// store's raw namespace for ETA estimation.
+func (r *Runner) pointCtx(ctx context.Context, p Point) (rs []sim.MixResult, cached bool, err error) {
 	cfg := r.configFor(p)
 	mixes := r.mixes(p.Attack)
 	key, err := results.Key(cfg, mixes)
 	if err != nil {
 		return nil, false, err
 	}
-	if rs, ok := r.store.Get(key); ok {
+	var claim *results.Claim
+	for {
+		if rs, ok := r.store.Get(key); ok {
+			return rs, true, nil
+		}
+		claim, err = r.store.TryClaim(key, r.claimTTL)
+		if err != nil {
+			return nil, false, err
+		}
+		if claim != nil {
+			break
+		}
+		// Another worker owns this point; wait it out, re-probing the
+		// shard on disk so a record written by another process is seen.
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-time.After(r.claimPollInterval()):
+		}
+		if rs, ok := r.store.Reload(key); ok {
+			return rs, true, nil
+		}
+	}
+	defer claim.Release()
+	// The claim was granted after our Get missed, but the previous
+	// holder may have released between the two; one disk re-probe keeps
+	// the point from simulating twice.
+	if rs, ok := r.store.Reload(key); ok {
 		return rs, true, nil
 	}
+	start := time.Now()
 	rs, err = sim.RunMixes(cfg, mixes)
 	if err != nil {
 		return nil, false, fmt.Errorf("exp: %v: %w", p, err)
 	}
+	elapsed := time.Since(start)
 	atomic.AddInt64(&r.executed, 1)
 	if err := r.store.Put(key, rs); err != nil {
+		return nil, false, err
+	}
+	if err := r.store.RecordElapsed(key, elapsed); err != nil {
 		return nil, false, err
 	}
 	return rs, false, nil
@@ -190,11 +261,10 @@ func (r *Runner) point(p Point) (rs []sim.MixResult, cached bool, err error) {
 // these without simulating. An unparseable stored table falls through to
 // a rebuild that supersedes it.
 func (r *Runner) cachedTable(label string, cfg sim.Config, build func() (Table, error)) (Table, error) {
-	key, err := results.Key(cfg, nil)
+	key, err := rawTableKey(label, cfg)
 	if err != nil {
 		return Table{}, err
 	}
-	key += "-" + label
 	if raw, ok := r.store.GetRaw(key); ok {
 		var t Table
 		if err := json.Unmarshal(raw, &t); err == nil {
@@ -213,6 +283,17 @@ func (r *Runner) cachedTable(label string, cfg sim.Config, build func() (Table, 
 		return Table{}, err
 	}
 	return t, nil
+}
+
+// rawTableKey addresses an instrumented experiment's rendered table in
+// the store's raw namespace: the content address of its configuration
+// plus the experiment label.
+func rawTableKey(label string, cfg sim.Config) (string, error) {
+	key, err := results.Key(cfg, nil)
+	if err != nil {
+		return "", err
+	}
+	return key + "-" + label, nil
 }
 
 // Table3 is the orchestrated form of the package-level Table3: identical

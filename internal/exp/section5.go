@@ -16,6 +16,19 @@ import (
 // it reports benign weighted speedup, per-thread suspect events, and
 // whether the attacking *owner* tops the software-side cumulative scores.
 func (r *Runner) Section5() (Table, error) {
+	cfg := r.section5Config()
+
+	// The scenarios instrument the system with activation hooks and an
+	// owner tracker, so they cannot be stored as plain mix results; the
+	// rendered table is cached instead (these are the longest single runs
+	// in a default sweep).
+	return r.cachedTable("sec5", cfg, func() (Table, error) { return r.section5(cfg) })
+}
+
+// section5Config derives the §5 scenario configuration from the base
+// options. Coverage and the cached-table key both depend on it, so it
+// must stay the single source of truth.
+func (r *Runner) section5Config() sim.Config {
 	cfg := r.opts.Base
 	cfg.Mechanism = "graphene"
 	cfg.NRH = r.opts.minNRH()
@@ -23,12 +36,7 @@ func (r *Runner) Section5() (Table, error) {
 	// Benign medium-intensity applications keep the system busy long
 	// enough for the rotation pattern to play out over several phases.
 	cfg.TargetInsts *= 4
-
-	// The scenarios instrument the system with activation hooks and an
-	// owner tracker, so they cannot be stored as plain mix results; the
-	// rendered table is cached instead (these are the longest single runs
-	// in a default sweep).
-	return r.cachedTable("sec5", cfg, func() (Table, error) { return r.section5(cfg) })
+	return cfg
 }
 
 // section5 runs the scenarios; see Section5 for caching.

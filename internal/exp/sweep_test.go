@@ -48,7 +48,11 @@ func TestSweepSecondRunSimulatesNothing(t *testing.T) {
 	}
 	r1 := NewRunnerWithStore(opts, store1)
 	var progressCalls int
-	r1.SetProgress(func(done, total int, p Point, cached bool) { progressCalls++ })
+	r1.SetProgress(func(e Event) {
+		if e.Type == PointFinished {
+			progressCalls++
+		}
+	})
 	if err := r1.Prefetch(r1.PointsFor(names)); err != nil {
 		t.Fatal(err)
 	}
@@ -124,8 +128,8 @@ func TestInterruptedSweepResumes(t *testing.T) {
 	}
 	r2 := NewRunnerWithStore(opts, store2)
 	var cachedSeen int
-	r2.SetProgress(func(done, total int, p Point, cached bool) {
-		if cached {
+	r2.SetProgress(func(e Event) {
+		if e.Type == PointFinished && e.Cached {
 			cachedSeen++
 		}
 	})

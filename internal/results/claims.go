@@ -1,0 +1,147 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// DefaultClaimTTL is the age past which an unreleased claim file is
+// considered abandoned (its owner crashed or was killed) and may be
+// stolen. Holders are expected to finish a point well within it at the
+// bundled harness scale; paper-scale sweeps should raise it via
+// exp.Runner.SetClaimTTL.
+const DefaultClaimTTL = 30 * time.Minute
+
+// Claim marks one store key as in flight: while held, TryClaim for the
+// same key is denied both to other goroutines on this store and — for a
+// persistent store — to other processes sharing the cache directory.
+// Claims are advisory: they exist so cooperating sweep workers do not
+// duplicate a simulation, not to guard correctness (the store's
+// append-only, last-wins records are already safe under duplication).
+type Claim struct {
+	store *Store
+	key   string
+	path  string // "" for memory-only stores
+}
+
+// TryClaim attempts to take the in-flight claim for key. It returns a
+// non-nil Claim when acquired, (nil, nil) when another worker — in this
+// process or, via a claim file in the cache directory, in another
+// process — currently holds it, and an error only on I/O failure. A
+// persistent claim file older than ttl (<= 0 means DefaultClaimTTL) is
+// treated as abandoned and stolen. The caller must Release the claim
+// once the point's record is in the store.
+func (s *Store) TryClaim(key string, ttl time.Duration) (*Claim, error) {
+	if key == "" {
+		return nil, fmt.Errorf("results: refusing to claim an empty key")
+	}
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[key] {
+		return nil, nil
+	}
+	c := &Claim{store: s, key: key}
+	if s.dir != "" {
+		path := s.claimPath(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, fmt.Errorf("results: %w", err)
+		}
+		ok, err := takeClaimFile(path, ttl)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		c.path = path
+	}
+	s.inflight[key] = true
+	return c, nil
+}
+
+// takeClaimFile creates path exclusively, stealing it first when it is
+// older than ttl. It retries once so that losing a race against another
+// process's expiry-removal still gets a clean answer.
+func takeClaimFile(path string, ttl time.Duration) (bool, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "{\"pid\":%d,\"start\":%q}\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
+			return true, f.Close()
+		}
+		if !os.IsExist(err) {
+			return false, fmt.Errorf("results: %w", err)
+		}
+		st, serr := os.Stat(path)
+		if serr != nil {
+			continue // the holder released between our open and stat; retry
+		}
+		if time.Since(st.ModTime()) <= ttl {
+			return false, nil // live claim held elsewhere
+		}
+		// Abandoned claim: remove (best effort — another stealer may beat
+		// us to it) and retry the exclusive create.
+		os.Remove(path)
+	}
+	return false, nil
+}
+
+// Release drops the claim, deleting its file for persistent stores.
+// Releasing a nil or already-released claim is a no-op.
+func (c *Claim) Release() {
+	if c == nil || c.store == nil {
+		return
+	}
+	s := c.store
+	s.mu.Lock()
+	delete(s.inflight, c.key)
+	s.mu.Unlock()
+	if c.path != "" {
+		os.Remove(c.path)
+	}
+	c.store = nil
+}
+
+// claimPath maps a key to its claim file under the claims/ subdirectory.
+func (s *Store) claimPath(key string) string {
+	return filepath.Join(s.dir, "claims", key+".claim")
+}
+
+// LiveClaims counts claim files younger than ttl (<= 0 means
+// DefaultClaimTTL) in the cache directory — evidence that other workers
+// are simulating right now. Compaction callers use it to skip the
+// destructive pass while a fleet is mid-sweep: every in-flight point
+// holds its claim across the write of its record, so "no live claims"
+// means no concurrent appends from points in progress. A memory-only
+// store reports zero.
+func (s *Store) LiveClaims(ttl time.Duration) (int, error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "claims"))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("results: %w", err)
+	}
+	live := 0
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue // claim released between ReadDir and stat
+		}
+		if time.Since(info.ModTime()) <= ttl {
+			live++
+		}
+	}
+	return live, nil
+}

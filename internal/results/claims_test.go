@@ -1,0 +1,224 @@
+package results
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+const testKey = "aa00000000000000000000000000000000000000000000000000000000000000"
+
+// TestClaimExclusiveWithinStore: one holder at a time; Release frees the
+// key for the next taker.
+func TestClaimExclusiveWithinStore(t *testing.T) {
+	for _, persistent := range []bool{false, true} {
+		s := NewMemory()
+		if persistent {
+			var err error
+			s, err = Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		c1, err := s.TryClaim(testKey, time.Minute)
+		if err != nil || c1 == nil {
+			t.Fatalf("persistent=%v: first claim = (%v, %v), want granted", persistent, c1, err)
+		}
+		if c2, err := s.TryClaim(testKey, time.Minute); err != nil || c2 != nil {
+			t.Fatalf("persistent=%v: second claim granted while held", persistent)
+		}
+		c1.Release()
+		c3, err := s.TryClaim(testKey, time.Minute)
+		if err != nil || c3 == nil {
+			t.Fatalf("persistent=%v: claim not reacquirable after release", persistent)
+		}
+		c3.Release()
+		c3.Release() // double release is a no-op
+	}
+}
+
+// TestClaimAcrossStores: two stores on one cache directory model two
+// processes sharing it; the claim file arbitrates between them.
+func TestClaimAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s1.TryClaim(testKey, time.Minute)
+	if err != nil || c1 == nil {
+		t.Fatalf("claim on store 1 = (%v, %v), want granted", c1, err)
+	}
+	if c2, err := s2.TryClaim(testKey, time.Minute); err != nil || c2 != nil {
+		t.Fatal("store 2 granted a claim store 1 holds")
+	}
+	c1.Release()
+	c2, err := s2.TryClaim(testKey, time.Minute)
+	if err != nil || c2 == nil {
+		t.Fatal("store 2 claim not granted after store 1 released")
+	}
+	c2.Release()
+}
+
+// TestClaimStaleExpiry: a claim file older than the TTL (a crashed
+// worker) is stolen; a fresh one is respected.
+func TestClaimStaleExpiry(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s1.TryClaim(testKey, time.Minute)
+	if err != nil || c1 == nil {
+		t.Fatal("initial claim not granted")
+	}
+	// Model the holder crashing long ago: age the claim file past the TTL.
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s1.claimPath(testKey), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.TryClaim(testKey, time.Minute)
+	if err != nil || c2 == nil {
+		t.Fatal("stale claim was not stolen")
+	}
+	defer c2.Release()
+	// The steal replaced the file with a fresh one; a third worker must
+	// now be denied.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3, err := s3.TryClaim(testKey, time.Minute); err != nil || c3 != nil {
+		t.Fatal("fresh stolen claim was not respected")
+	}
+}
+
+// TestLiveClaims: held claims count, released and stale ones don't.
+func TestLiveClaims(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LiveClaims(time.Minute); err != nil || n != 0 {
+		t.Fatalf("empty dir LiveClaims = (%d, %v), want 0", n, err)
+	}
+	c, err := s.TryClaim(testKey, time.Minute)
+	if err != nil || c == nil {
+		t.Fatal("claim not granted")
+	}
+	if n, _ := s.LiveClaims(time.Minute); n != 1 {
+		t.Fatalf("held claim not counted: %d", n)
+	}
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.claimPath(testKey), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.LiveClaims(time.Minute); n != 0 {
+		t.Fatalf("stale claim counted as live: %d", n)
+	}
+	c.Release()
+	if n, _ := s.LiveClaims(time.Minute); n != 0 {
+		t.Fatalf("released claim counted as live: %d", n)
+	}
+	if n, err := NewMemory().LiveClaims(time.Minute); err != nil || n != 0 {
+		t.Fatalf("memory store LiveClaims = (%d, %v)", n, err)
+	}
+}
+
+// TestClaimEmptyKeyRejected guards the claim-file path construction.
+func TestClaimEmptyKeyRejected(t *testing.T) {
+	s := NewMemory()
+	if _, err := s.TryClaim("", time.Minute); err == nil {
+		t.Fatal("empty key claimed")
+	}
+}
+
+// TestReloadSeesOtherStoreWrites: a record appended through one store is
+// invisible to another store's Get (loaded at Open) but visible to
+// Reload, which re-scans the shard on disk — the read path behind
+// waiting out another process's claim.
+func TestReloadSeesOtherStoreWrites(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResults(7)
+	if err := s1.Put(testKey, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(testKey); ok {
+		t.Fatal("Get on store 2 saw a record written after its Open")
+	}
+	got, ok := s2.Reload(testKey)
+	if !ok {
+		t.Fatal("Reload did not find the record on disk")
+	}
+	if got[0].MixName != want[0].MixName {
+		t.Fatalf("Reload returned %q, want %q", got[0].MixName, want[0].MixName)
+	}
+	// Reload cached the record: Get now serves it from memory.
+	if _, ok := s2.Get(testKey); !ok {
+		t.Fatal("Reload did not cache the record in memory")
+	}
+}
+
+// TestElapsedRoundTrip: per-point timings persist and reload.
+func TestElapsedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Elapsed(testKey); ok {
+		t.Fatal("Elapsed present before recording")
+	}
+	if err := s.RecordElapsed(testKey, 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s.Elapsed(testKey); !ok || d != 1500*time.Millisecond {
+		t.Fatalf("Elapsed = (%v, %v), want 1.5s", d, ok)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := reopened.Elapsed(testKey); !ok || d != 1500*time.Millisecond {
+		t.Fatalf("Elapsed after reopen = (%v, %v), want 1.5s", d, ok)
+	}
+}
+
+// TestHasAndCoverageSkipStats: presence probes must not skew the
+// hit/miss counters the sweep tests assert on.
+func TestHasAndCoverageSkipStats(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put(testKey, sampleResults(1)); err != nil {
+		t.Fatal(err)
+	}
+	other := "bb" + testKey[2:]
+	if !s.Has(testKey) || s.Has(other) {
+		t.Fatal("Has answered wrong")
+	}
+	if got := s.Coverage([]string{testKey, other}); got != 1 {
+		t.Fatalf("Coverage = %d, want 1", got)
+	}
+	if s.HasRaw(testKey) {
+		t.Fatal("HasRaw saw a point record in the raw namespace")
+	}
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("presence probes counted as traffic: %+v", st)
+	}
+}

@@ -1,0 +1,159 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lineCount counts the lines of one shard for assertions.
+func lineCount(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+// TestCompactDropsSuperseded: recomputed points append duplicate records;
+// compaction keeps only the live (last) one and the reopened store sees
+// identical contents.
+func TestCompactDropsSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2 := "ab" + testKey[2:] // lands in its own shard (prefix "ab" vs "aa")
+	if err := s.Put(testKey, sampleResults(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey, sampleResults(2)); err != nil { // supersedes
+		t.Fatal(err)
+	}
+	if err := s.Put(key2, sampleResults(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordElapsed(testKey, 1e9); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the superseded record)", res.Dropped)
+	}
+	if res.Kept != 3 { // live testKey + key2 + the elapsed raw record
+		t.Errorf("Kept = %d, want 3", res.Kept)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reopened.Stats(); st.Loaded != 3 || st.Skipped != 0 {
+		t.Errorf("reopened stats = %+v, want 3 loaded, 0 skipped", st)
+	}
+	got, ok := reopened.Get(testKey)
+	if !ok || got[0].MixName != sampleResults(2)[0].MixName {
+		t.Error("compaction did not keep the superseding record")
+	}
+	if _, ok := reopened.Get(key2); !ok {
+		t.Error("compaction lost an unrelated record")
+	}
+	if d, ok := reopened.Elapsed(testKey); !ok || d != 1e9 {
+		t.Error("compaction lost the raw elapsed record")
+	}
+}
+
+// TestCompactDropsCorruptAndStaleSchema: garbage lines and other-schema
+// records vanish on compaction.
+func TestCompactDropsCorruptAndStaleSchema(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey, sampleResults(1)); err != nil {
+		t.Fatal(err)
+	}
+	shard := s.shardPath(testKey)
+	f, err := os.OpenFile(shard, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{torn json\n")
+	f.WriteString(`{"schema":0,"key":"` + testKey + `","results":[]}` + "\n")
+	f.Close()
+
+	// A fresh store sees the damage (skipped lines) ...
+	damaged, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := damaged.Stats(); st.Skipped != 2 {
+		t.Fatalf("damaged store skipped %d lines, want 2", st.Skipped)
+	}
+	res, err := damaged.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 2 || res.Kept != 1 {
+		t.Errorf("Compact = %+v, want 2 dropped, 1 kept", res)
+	}
+	if lineCount(t, shard) != 1 {
+		t.Error("compacted shard still holds dead lines")
+	}
+	// ... and a store opened after compaction sees none.
+	clean, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := clean.Stats(); st.Skipped != 0 || st.Loaded != 1 {
+		t.Errorf("post-compaction stats = %+v, want 1 loaded, 0 skipped", st)
+	}
+}
+
+// TestCompactRemovesEmptiedShard: a shard whose records were all
+// superseded by a Reset+rewrite... cannot happen through the API, but a
+// shard holding only stale-schema lines compacts away entirely.
+func TestCompactRemovesEmptiedShard(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "shard-aa.jsonl")
+	if err := os.WriteFile(shard, []byte(`{"schema":0,"key":"x","results":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", res.Dropped)
+	}
+	if _, err := os.Stat(shard); !os.IsNotExist(err) {
+		t.Error("emptied shard file survived compaction")
+	}
+}
+
+// TestCompactMemoryStoreIsNoop: nothing to do, nothing reported.
+func TestCompactMemoryStoreIsNoop(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put(testKey, sampleResults(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != (CompactResult{}) {
+		t.Errorf("memory compaction reported %+v", res)
+	}
+}

@@ -68,14 +68,16 @@ type Stats struct {
 type Store struct {
 	dir string // "" = memory-only
 
-	mu      sync.Mutex
-	mem     map[string][]sim.MixResult
-	rawMem  map[string]json.RawMessage
-	hits    int64
-	misses  int64
-	written int64
-	loaded  int64
-	skipped int64
+	mu       sync.Mutex
+	mem      map[string][]sim.MixResult
+	rawMem   map[string]json.RawMessage
+	inflight map[string]bool // keys claimed by TryClaim and not yet released
+	reset    bool            // Reset was called: records on disk are invalidated
+	hits     int64
+	misses   int64
+	written  int64
+	loaded   int64
+	skipped  int64
 }
 
 // record is one JSONL line: either a simulation-point record (Results
@@ -93,7 +95,11 @@ type record struct {
 // like the persistent store minus durability, and is what the experiment
 // runner uses when no cache directory is configured.
 func NewMemory() *Store {
-	return &Store{mem: make(map[string][]sim.MixResult), rawMem: make(map[string]json.RawMessage)}
+	return &Store{
+		mem:      make(map[string][]sim.MixResult),
+		rawMem:   make(map[string]json.RawMessage),
+		inflight: make(map[string]bool),
+	}
 }
 
 // Open creates dir if needed, loads every parseable record with the
@@ -109,7 +115,12 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
-	s := &Store{dir: dir, mem: make(map[string][]sim.MixResult), rawMem: make(map[string]json.RawMessage)}
+	s := &Store{
+		dir:      dir,
+		mem:      make(map[string][]sim.MixResult),
+		rawMem:   make(map[string]json.RawMessage),
+		inflight: make(map[string]bool),
+	}
 	shards, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
 	if err != nil {
 		return nil, fmt.Errorf("results: %w", err)
@@ -177,6 +188,94 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{Hits: s.hits, Misses: s.misses, Written: s.written,
 		Loaded: s.loaded, Skipped: s.skipped}
+}
+
+// Has reports whether key is present in the simulation-point namespace.
+// Unlike Get, probing with Has does not count toward the hit/miss
+// statistics, so coverage queries (which figures are fully cached?) do
+// not skew the traffic counters.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.mem[key]
+	return ok
+}
+
+// HasRaw reports whether key is present in the raw namespace, again
+// without touching the hit/miss counters.
+func (s *Store) HasRaw(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.rawMem[key]
+	return ok
+}
+
+// Coverage reports how many of the given simulation-point keys are
+// already stored. It is the store-level primitive behind "n cached / n
+// total" figure listings.
+func (s *Store) Coverage(keys []string) (cached int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if _, ok := s.mem[k]; ok {
+			cached++
+		}
+	}
+	return cached
+}
+
+// Reload re-reads key's shard from disk, picking up records appended by
+// other processes sharing the cache directory since this store was
+// opened, and caches a found record in memory. It is how a worker that
+// waited out another process's claim observes the finished point. On a
+// memory-only store — or after Reset, which explicitly invalidates
+// everything already on disk — Reload is equivalent to Get.
+func (s *Store) Reload(key string) ([]sim.MixResult, bool) {
+	s.mu.Lock()
+	if rs, ok := s.mem[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return rs, true
+	}
+	if s.dir == "" || s.reset {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	path := s.shardPath(key)
+	s.mu.Unlock()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var (
+		found []sim.MixResult
+		ok    bool
+	)
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec record
+			if json.Unmarshal(line, &rec) == nil && rec.Schema == SchemaVersion &&
+				rec.Key == key && rec.Results != nil {
+				found, ok = rec.Results, true // last record wins
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.mem[key] = found
+	s.hits++
+	s.mu.Unlock()
+	return found, true
 }
 
 // Get returns the stored results for key, if any.
@@ -261,16 +360,18 @@ func (s *Store) appendLocked(rec record) error {
 }
 
 // Reset drops every in-memory entry (and the Loaded counter) while
-// leaving the shards on disk untouched. Subsequent Puts append fresh
-// records that supersede the old ones at the next Open — this is the
-// engine behind "-resume=false": recompute everything, but keep writing
-// through.
+// leaving the shards on disk untouched, and stops Reload from consulting
+// them (records already persisted are invalidated for this store, not
+// just evicted). Subsequent Puts append fresh records that supersede the
+// old ones at the next Open — this is the engine behind "-resume=false":
+// recompute everything, but keep writing through.
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem = make(map[string][]sim.MixResult)
 	s.rawMem = make(map[string]json.RawMessage)
 	s.loaded = 0
+	s.reset = true
 }
 
 // shardPath maps a key to its shard file by the first hex byte.

@@ -1,0 +1,44 @@
+package results
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// elapsedSuffix namespaces per-point wall-clock records inside the raw
+// namespace: the timing for point key lives under key+elapsedSuffix.
+const elapsedSuffix = "-elapsed"
+
+// elapsedRecord is the wire form of one per-point timing record.
+type elapsedRecord struct {
+	NS int64 `json:"ns"`
+}
+
+// RecordElapsed persists the wall-clock time one simulated point took
+// under the raw namespace, keyed off the point's own key. Sweep ETAs
+// (bhsweep -progress, bhserve SSE events) are estimated from these
+// records, so they survive the process that measured them.
+func (s *Store) RecordElapsed(key string, d time.Duration) error {
+	raw, err := json.Marshal(elapsedRecord{NS: d.Nanoseconds()})
+	if err != nil {
+		return err
+	}
+	return s.PutRaw(key+elapsedSuffix, raw)
+}
+
+// Elapsed returns the recorded wall-clock time for key, if any. Probing
+// does not count toward the hit/miss statistics (it is an estimator
+// input, not result traffic).
+func (s *Store) Elapsed(key string) (time.Duration, bool) {
+	s.mu.Lock()
+	raw, ok := s.rawMem[key+elapsedSuffix]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	var rec elapsedRecord
+	if json.Unmarshal(raw, &rec) != nil || rec.NS <= 0 {
+		return 0, false
+	}
+	return time.Duration(rec.NS), true
+}

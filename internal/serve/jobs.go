@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"breakhammer/internal/exp"
+)
+
+// Job states, in lifecycle order.
+const (
+	// JobQueued means the job waits for a worker slot.
+	JobQueued = "queued"
+	// JobRunning means the job's sweep is simulating.
+	JobRunning = "running"
+	// JobDone means the figure is fully cached and servable.
+	JobDone = "done"
+	// JobFailed means the sweep aborted; see the job's Error.
+	JobFailed = "failed"
+)
+
+// Job is one background figure computation: a Prefetch of the figure's
+// missing points followed by a render that warms the store, with every
+// typed progress event retained for replay so late SSE subscribers see
+// the full history.
+type Job struct {
+	id  string
+	fig string
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	events []exp.Event
+	subs   map[chan exp.Event]bool
+	done   chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Figure returns the figure id the job computes.
+func (j *Job) Figure() string { return j.fig }
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.id,
+		Figure: j.fig,
+		State:  j.state,
+		Error:  j.errMsg,
+		Events: len(j.events),
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Type == exp.PointFinished {
+			st.Done = j.events[i].Done
+			st.Total = j.events[i].Total
+			st.EstimateNS = j.events[i].EstimateNS
+			break
+		}
+	}
+	return st
+}
+
+// JobStatus is the wire form of a job snapshot.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Figure string `json:"figure"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	Events int    `json:"events"` // progress events emitted so far
+	Done   int    `json:"done"`   // points finished
+	Total  int    `json:"total"`  // points in the sweep (0 until the first point finishes)
+	// EstimateNS is the projected remaining wall-clock in nanoseconds
+	// from the job's latest progress event.
+	EstimateNS int64 `json:"eta_ns,omitempty"`
+}
+
+// emit appends a progress event and fans it out to subscribers. A
+// subscriber too slow to drain its buffer is dropped (its channel is
+// closed) rather than stalling the sweep.
+func (j *Job) emit(e exp.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe atomically snapshots the event history and registers a live
+// channel, so a subscriber sees every event exactly once regardless of
+// when it arrives. The returned cancel is idempotent and must be called
+// when the subscriber leaves.
+func (j *Job) subscribe() (history []exp.Event, live chan exp.Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]exp.Event(nil), j.events...)
+	live = make(chan exp.Event, 1024)
+	j.subs[live] = true
+	return history, live, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.subs[live] {
+			delete(j.subs, live)
+			close(live)
+		}
+	}
+}
+
+// finish records the terminal state and wakes every waiter.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+	}
+	close(j.done)
+}
+
+// setState transitions a live job (queued -> running).
+func (j *Job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// Manager owns the server's background jobs: a bounded worker pool
+// shared across requests, deduplication so two clients asking for the
+// same figure share one job, and cancellation of everything in flight on
+// shutdown.
+type Manager struct {
+	runner  *exp.Runner
+	workers chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	active   map[string]*Job // figure id -> live job (dedup)
+	byID     map[string]*Job // job id -> job, including recent finished ones
+	finished []string        // terminal job ids, oldest first, for eviction
+	nextID   int
+}
+
+// maxFinishedJobs bounds how many terminal jobs (with their full event
+// histories) the manager retains for status/replay queries; older ones
+// are evicted so a long-running server polled by failing clients cannot
+// grow without bound.
+const maxFinishedJobs = 64
+
+// NewManager builds a manager running at most workers figure jobs
+// concurrently (min 1).
+func NewManager(runner *exp.Runner, workers int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		runner:  runner,
+		workers: make(chan struct{}, workers),
+		ctx:     ctx,
+		cancel:  cancel,
+		active:  make(map[string]*Job),
+		byID:    make(map[string]*Job),
+	}
+}
+
+// Ensure returns the live job computing the given figure, creating one
+// if none is active: concurrent requests for the same figure share a
+// single sweep. The job prefetches the experiment's missing points
+// through the shared results store and then renders the table once, so
+// a follow-up figure request serves straight from the cache.
+func (m *Manager) Ensure(figID string, ex exp.Experiment) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.active[figID]; ok {
+		return j
+	}
+	m.nextID++
+	j := &Job{
+		id:    fmt.Sprintf("job-%d", m.nextID),
+		fig:   figID,
+		state: JobQueued,
+		subs:  make(map[chan exp.Event]bool),
+		done:  make(chan struct{}),
+	}
+	m.active[figID] = j
+	m.byID[j.id] = j
+	m.wg.Add(1)
+	go m.run(j, ex)
+	return j
+}
+
+// run executes one job under the worker pool.
+func (m *Manager) run(j *Job, ex exp.Experiment) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		if m.active[j.fig] == j {
+			delete(m.active, j.fig)
+		}
+		m.finished = append(m.finished, j.id)
+		for len(m.finished) > maxFinishedJobs {
+			delete(m.byID, m.finished[0])
+			m.finished = m.finished[1:]
+		}
+		m.mu.Unlock()
+	}()
+	select {
+	case m.workers <- struct{}{}:
+		defer func() { <-m.workers }()
+	case <-m.ctx.Done():
+		j.finish(m.ctx.Err())
+		return
+	}
+	j.setState(JobRunning)
+	points := m.runner.PointsFor([]string{ex.Name})
+	if err := m.runner.PrefetchContext(m.ctx, points, j.emit); err != nil {
+		j.finish(err)
+		return
+	}
+	// The render below cannot be cancelled mid-run (the figure builders
+	// take no context), so don't start it on a server that is shutting
+	// down — for instrumented experiments it IS the whole job.
+	if err := m.ctx.Err(); err != nil {
+		j.finish(err)
+		return
+	}
+	// Render once so instrumented experiments (whose work is not point
+	// sweeps) compute and cache their table, and point figures verify
+	// they render cleanly before the job reports done.
+	if _, err := ex.Run(m.runner); err != nil {
+		j.finish(err)
+		return
+	}
+	j.finish(nil)
+}
+
+// Get looks a job up by id (live or finished).
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	return j, ok
+}
+
+// ActiveFor returns the live job for a figure id, if any.
+func (m *Manager) ActiveFor(figID string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.active[figID]
+	return j, ok
+}
+
+// Jobs lists every retained job (live ones plus the most recent
+// terminal ones), in creation order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.byID))
+	for _, j := range m.byID {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return jobSeq(out[i].id) < jobSeq(out[k].id) })
+	return out
+}
+
+// jobSeq extracts the creation sequence number from a "job-N" id.
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}
+
+// Close cancels every queued and running job and waits for their
+// goroutines to drain. In-flight simulation points run to completion and
+// persist (the store is append-only), so a restarted server resumes
+// where this one stopped.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}

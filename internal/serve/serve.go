@@ -1,0 +1,276 @@
+// Package serve is the HTTP experiment service in front of the sweep
+// orchestrator: it serves any paper figure straight from the results
+// store when every record it needs is cached, computes missing figures
+// in background jobs (deduplicated across clients, bounded by a worker
+// pool, cancelled on shutdown), and streams typed per-point progress
+// over Server-Sent Events. The wire format for figures is
+// exp.Table.JSON(), byte-identical to bhsweep's -json output, so HTTP
+// clients and CLI sweeps interoperate on one representation.
+//
+// Routes:
+//
+//	GET /                      embedded HTML index (coverage + live jobs)
+//	GET /api/figures           catalogue with cache coverage and job state
+//	GET /api/figures/{id}      the figure (200) or a job ticket (202)
+//	GET /api/jobs              every job this server started
+//	GET /api/jobs/{id}         one job's status
+//	GET /api/jobs/{id}/events  the job's progress stream (SSE)
+package serve
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"breakhammer/internal/exp"
+)
+
+//go:embed index.html
+var indexHTML []byte
+
+// Server wires the experiment runner and job manager into an
+// http.Handler. Construct with New; Close cancels background jobs.
+type Server struct {
+	runner *exp.Runner
+	mgr    *Manager
+	mux    *http.ServeMux
+}
+
+// New builds a server over the runner, computing at most figureWorkers
+// figures concurrently in the background.
+func New(runner *exp.Runner, figureWorkers int) *Server {
+	s := &Server{runner: runner, mgr: NewManager(runner, figureWorkers)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /api/figures", s.handleFigures)
+	mux.HandleFunc("GET /api/figures/{id}", s.handleFigure)
+	mux.HandleFunc("GET /api/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every background job and waits for them to stop.
+func (s *Server) Close() { s.mgr.Close() }
+
+// FigureID maps an experiment name to its URL id: purely numeric names
+// gain a "fig" prefix ("8" -> "fig8"); the rest (table3, sec5, ...) are
+// their own ids.
+func FigureID(name string) string {
+	if name != "" && name[0] >= '0' && name[0] <= '9' {
+		return "fig" + name
+	}
+	return name
+}
+
+// experimentName inverts FigureID, tolerating both spellings ("fig8"
+// and "8" address the same figure).
+func experimentName(id string) string {
+	if rest, ok := strings.CutPrefix(id, "fig"); ok && rest != "" && rest[0] >= '0' && rest[0] <= '9' {
+		return rest
+	}
+	return id
+}
+
+// figureInfo is one /api/figures catalogue entry.
+type figureInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"` // bhsweep -figs name
+	Title string `json:"title"`
+	// Cached/Total is the store coverage: records present vs records the
+	// figure reads. Static figures need none and report 0/0.
+	Cached int  `json:"cached"`
+	Total  int  `json:"total"`
+	Ready  bool `json:"ready"` // fully covered: a GET serves without simulating
+	// Job is the live background job computing this figure, if any.
+	Job *JobStatus `json:"job,omitempty"`
+}
+
+// jobTicket is the 202 response body for a figure that is still
+// computing.
+type jobTicket struct {
+	Job       JobStatus `json:"job"`
+	StatusURL string    `json:"status_url"`
+	EventsURL string    `json:"events_url"`
+	FigureURL string    `json:"figure_url"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(indexHTML)
+}
+
+func (s *Server) figureInfo(ex exp.Experiment) (figureInfo, error) {
+	cached, total, err := s.runner.Coverage(ex.Name)
+	if err != nil {
+		return figureInfo{}, err
+	}
+	id := FigureID(ex.Name)
+	info := figureInfo{
+		ID:     id,
+		Name:   ex.Name,
+		Title:  ex.Title,
+		Cached: cached,
+		Total:  total,
+		Ready:  cached == total,
+	}
+	if j, ok := s.mgr.ActiveFor(id); ok {
+		st := j.Status()
+		info.Job = &st
+	}
+	return info, nil
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	var list []figureInfo
+	for _, ex := range exp.Experiments() {
+		info, err := s.figureInfo(ex)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		list = append(list, info)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ex, ok := exp.ExperimentByName(experimentName(id))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q", id))
+		return
+	}
+	cached, total, err := s.runner.Coverage(ex.Name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if cached == total {
+		// Fully covered: render straight from the store — zero
+		// simulations — and answer with the bhsweep -json wire format.
+		tbl, err := ex.Run(s.runner)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, tbl.JSON())
+		return
+	}
+	j := s.mgr.Ensure(FigureID(ex.Name), ex)
+	writeJSON(w, http.StatusAccepted, jobTicket{
+		Job:       j.Status(),
+		StatusURL: "/api/jobs/" + j.ID(),
+		EventsURL: "/api/jobs/" + j.ID() + "/events",
+		FigureURL: "/api/figures/" + FigureID(ex.Name),
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	list := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		list = append(list, j.Status())
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleJobEvents streams a job's typed progress as Server-Sent Events:
+// one "point-started"/"point-finished" event per point — the full
+// history replays first, so every subscriber sees every point exactly
+// once — and a final "done" event carrying the job's terminal status.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	history, live, cancel := j.subscribe()
+	defer cancel()
+	for _, e := range history {
+		writeSSE(w, e)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok { // dropped as a slow subscriber
+				return
+			}
+			writeSSE(w, e)
+			flusher.Flush()
+		case <-j.done:
+			// Drain events that raced the terminal state before
+			// announcing it.
+			for {
+				select {
+				case e, ok := <-live:
+					if !ok {
+						return
+					}
+					writeSSE(w, e)
+					continue
+				default:
+				}
+				break
+			}
+			fmt.Fprintf(w, "event: done\n")
+			data, _ := json.Marshal(j.Status())
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one progress event in SSE framing.
+func writeSSE(w http.ResponseWriter, e exp.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+}
+
+// writeJSON renders v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError renders an error as a small JSON object.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+}

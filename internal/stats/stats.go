@@ -79,6 +79,28 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// RunningMean accumulates a streaming arithmetic mean without storing
+// samples. The zero value is ready to use. It backs the sweep ETA
+// estimator: per-point wall-clock samples trickle in as points finish,
+// and the mean times the number of outstanding points gives the
+// projection. Not safe for concurrent use; callers serialize.
+type RunningMean struct {
+	n    int64
+	mean float64
+}
+
+// Add folds one sample into the mean.
+func (m *RunningMean) Add(x float64) {
+	m.n++
+	m.mean += (x - m.mean) / float64(m.n)
+}
+
+// N returns the number of samples seen.
+func (m *RunningMean) N() int64 { return m.n }
+
+// Mean returns the current mean (0 before any sample).
+func (m *RunningMean) Mean() float64 { return m.mean }
+
 // MinMax returns the extrema of xs; (0,0) for empty input.
 func MinMax(xs []float64) (lo, hi float64) {
 	if len(xs) == 0 {

@@ -206,3 +206,19 @@ func TestHistogramJSONRejectsBadShape(t *testing.T) {
 		t.Error("out-of-range bucket index accepted")
 	}
 }
+
+func TestRunningMean(t *testing.T) {
+	var m RunningMean
+	if m.N() != 0 || m.Mean() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		m.Add(x)
+	}
+	if m.N() != 3 {
+		t.Errorf("N = %d, want 3", m.N())
+	}
+	if got := m.Mean(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Mean = %g, want 4", got)
+	}
+}
