@@ -146,6 +146,17 @@ func RotatingAttackerSpec(index, slots int, period, seed int64) Spec {
 	return workload.RotatingAttackerSpec(index, slots, period, seed)
 }
 
+// TraceSpec returns a benign spec replaying the recorded trace file at
+// path on core idx. Trace-backed simulations are cached by the trace's
+// content hash, never its path.
+func TraceSpec(path string, idx int) Spec { return workload.TraceSpec(path, idx) }
+
+// ResolveTraceHashes returns a copy of mixes with every trace-backed
+// spec's content hash pinned from its file. Pin before deriving a store
+// key and simulate with the pinned mixes, so an edit to the file in
+// between fails loudly instead of storing mismatched results.
+func ResolveTraceHashes(mixes []Mix) ([]Mix, error) { return workload.ResolveTraceHashes(mixes) }
+
 // BenignSpec returns a benign application spec of the given class letter
 // (H, M or L).
 func BenignSpec(letter byte, idx int, seed int64) (Spec, error) {

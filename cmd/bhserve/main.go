@@ -31,6 +31,7 @@ import (
 	"breakhammer/internal/exp"
 	"breakhammer/internal/results"
 	"breakhammer/internal/serve"
+	"breakhammer/internal/trace"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		insts      = flag.Int64("insts", 0, "instructions per benign core (0 = preset default)")
 		nrhs       = flag.String("nrhs", "", "comma-separated N_RH sweep (empty = preset default)")
 		mechs      = flag.String("mechs", "", "comma-separated mechanisms (empty = preset default)")
+		traces     = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
 		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently per figure job (0 = auto)")
 		figureJobs = flag.Int("figure-jobs", 2, "figure jobs computed concurrently")
 		compact    = flag.Bool("compact", true, "compact the store's shards at startup (drops superseded records)")
@@ -59,9 +61,20 @@ func main() {
 		Insts:      *insts,
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
+		Traces:     *traces,
 	}.Resolve()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Validate trace files at startup — a figure job discovering a
+	// missing trace hours in would be a worse failure mode — and log
+	// their scale from the sidecar manifests.
+	traceLines, err := trace.ReportManifests(opts.Traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range traceLines {
+		log.Print(line)
 	}
 
 	store, err := results.Open(*cacheDir)

@@ -4,11 +4,19 @@
 // content-addressed store bhsweep uses, so re-running an identical
 // invocation replays it instantly; -json dumps the full result record.
 //
+// With -trace, the benign cores replay recorded trace files (one core
+// per file; see internal/trace for the formats) instead of synthetic
+// class models, and -attack adds the paper's synthetic RowHammer
+// attacker on an extra core. Trace-driven results are cached under keys
+// derived from the traces' content hashes, so renaming a trace file
+// never invalidates (or forks) the store.
+//
 // Usage:
 //
 //	bhsim -mix HHMA -mech graphene -nrh 1024 -bh
 //	bhsim -mix LLLA -mech blockhammer -nrh 128 -insts 400000
 //	bhsim -mix HHMA -mech rfm -bh -cache-dir ~/.bhcache -json
+//	bhsim -trace spec.trace,gap.trace.gz -attack -mech graphene -bh
 package main
 
 import (
@@ -17,10 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"breakhammer"
 	"breakhammer/internal/results"
+	"breakhammer/internal/trace"
 )
 
 func main() {
@@ -28,7 +38,9 @@ func main() {
 	log.SetPrefix("bhsim: ")
 
 	var (
-		mixStr   = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core")
+		mixStr   = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core (ignored with -trace)")
+		traces   = flag.String("trace", "", "comma-separated trace files replayed by the benign cores, one core per file")
+		attack   = flag.Bool("attack", false, "with -trace: add the synthetic many-sided RowHammer attacker on an extra core")
 		mech     = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
 		nrh      = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
 		bh       = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
@@ -55,9 +67,26 @@ func main() {
 		cfg.TargetInsts = *insts
 	}
 
-	mix, err := breakhammer.ParseMix(*mixStr, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var mix breakhammer.Mix
+	if *traces != "" {
+		mix = traceMix(*traces, *attack, *seed)
+		// Pin the trace content hashes now: the store key below and the
+		// simulation must describe the same bytes, and NewSource verifies
+		// the pinned hash at run time.
+		resolved, err := breakhammer.ResolveTraceHashes([]breakhammer.Mix{mix})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = resolved[0]
+	} else {
+		if *attack {
+			log.Fatal("-attack requires -trace (synthetic mixes spell their attacker with an A letter)")
+		}
+		var err error
+		mix, err = breakhammer.ParseMix(*mixStr, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	store, err := results.Open(*cacheDir)
@@ -138,4 +167,35 @@ func main() {
 	if !res.BenignFinished {
 		fmt.Fprintln(os.Stderr, "warning: benign cores hit MaxCycles before finishing")
 	}
+}
+
+// traceMix builds the trace-driven mix: one benign core per listed file,
+// plus the synthetic attacker when requested. Mix and spec names are
+// position-based (never path-based) so the store key survives file
+// renames; each trace's scale is logged from its sidecar manifest
+// without re-scanning the file.
+func traceMix(list string, attack bool, seed int64) breakhammer.Mix {
+	var files []string
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			log.Fatalf("empty trace path in -trace %q", list)
+		}
+		files = append(files, f)
+	}
+	lines, err := trace.ReportManifests(files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []breakhammer.Spec
+	for i, f := range files {
+		log.Print(lines[i])
+		specs = append(specs, breakhammer.TraceSpec(f, i))
+	}
+	name := "TRACE"
+	if attack {
+		name = "TRACEA"
+		specs = append(specs, breakhammer.AttackerSpec(0, seed))
+	}
+	return breakhammer.Mix{Name: name, Specs: specs}
 }

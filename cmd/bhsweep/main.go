@@ -34,6 +34,7 @@ import (
 	"breakhammer"
 	"breakhammer/internal/exp"
 	"breakhammer/internal/results"
+	"breakhammer/internal/trace"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 		channels = flag.Int("channels", 0, "memory channels for every experiment point (power of two; 0 = preset default)")
 		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
 		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
+		traces   = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of ASCII")
 		outDir   = flag.String("out", "", "write one file per experiment into this directory")
@@ -96,9 +98,19 @@ func main() {
 		Insts:      *insts,
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
+		Traces:     *traces,
 	}.Resolve()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Report each trace's scale up front (from the sidecar manifests, no
+	// re-scan when warm) and fail on unreadable files before simulating.
+	traceLines, err := trace.ReportManifests(opts.Traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range traceLines {
+		log.Print(line)
 	}
 
 	store, err := results.Open(*cacheDir)

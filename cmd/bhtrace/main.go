@@ -1,23 +1,31 @@
 // bhtrace generates and inspects synthetic workload traces: it prints
 // trace records and a DRAM-level characterisation (bank/row spread,
-// expected MPKI) for any workload class.
+// expected MPKI) for any workload class, and synthesizes trace files
+// that bhsim -trace / bhsweep -traces replay (-gen), giving tests and CI
+// self-contained trace inputs with no external SPEC/GAP downloads.
 //
 // Usage:
 //
-//	bhtrace -class H -n 20           # dump 20 records
-//	bhtrace -class A -summary        # attacker characterisation
-//	bhtrace -class A -summary -json  # the same, machine-readable
+//	bhtrace -class H -n 20                 # dump 20 records
+//	bhtrace -class A -summary              # attacker characterisation
+//	bhtrace -class A -summary -json        # the same, machine-readable
+//	bhtrace -class H -n 50000 -gen h.trace # synthesize a replayable trace
+//	bhtrace -class M -n 50000 -gen m.trace.gz  # gzip-compressed
 package main
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"breakhammer/internal/dram"
 	"breakhammer/internal/memctrl"
+	"breakhammer/internal/trace"
 	"breakhammer/internal/workload"
 )
 
@@ -34,11 +42,15 @@ func main() {
 		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records")
 		samples  = flag.Int("samples", 100000, "accesses to sample for -summary")
 		jsonOut  = flag.Bool("json", false, "emit JSON (one object per record, or one summary object)")
+		genOut   = flag.String("gen", "", "synthesize -n records into this trace file (gzip when the name ends in .gz) and print its manifest")
 	)
 	flag.Parse()
 
 	if *channels <= 0 || *channels&(*channels-1) != 0 {
 		log.Fatalf("-channels must be a positive power of two, got %d", *channels)
+	}
+	if *genOut != "" && (*summary || *jsonOut) {
+		log.Fatal("-gen writes a trace file; it cannot be combined with -summary or -json")
 	}
 	if *summary && *samples <= 0 {
 		log.Fatalf("-samples must be positive for -summary, got %d", *samples)
@@ -51,6 +63,13 @@ func main() {
 		log.Fatal(err)
 	}
 	spec := workload.ClassSpec(c, 0, *seed)
+	if *genOut != "" {
+		if *n <= 0 {
+			log.Fatalf("-gen needs a positive -n, got %d", *n)
+		}
+		synthesize(*genOut, spec, *thread, *n)
+		return
+	}
 	gen := workload.NewGenerator(spec, *thread)
 	mapper := memctrl.NewChannelMOPMapper(dram.Default(), *channels)
 
@@ -139,6 +158,40 @@ func main() {
 	fmt.Printf("rows >=64 acc   %d\n", hot64)
 	fmt.Printf("rows >=512 acc  %d\n", hot512)
 	fmt.Printf("max row count   %d\n", maxRow)
+}
+
+// synthesize writes n generator records to path in the format the trace
+// decoders read (gzip-compressed when the name says so), then loads the
+// result through the trace registry — which verifies it decodes, writes
+// the sidecar manifest, and yields the content hash the results store
+// will key simulations by.
+func synthesize(path string, spec workload.Spec, thread, n int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := workload.WriteTrace(w, spec, thread, n); err != nil {
+		log.Fatal(err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	t, err := trace.Load(path)
+	if err != nil {
+		log.Fatalf("generated trace does not decode: %v", err)
+	}
+	log.Printf("wrote %s: %s", path, t.Manifest.Summary())
 }
 
 // traceRecord is the JSON form of one dumped trace access.

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"strings"
+
 	"breakhammer/internal/results"
 	"breakhammer/internal/sim"
+	"breakhammer/internal/trace"
 )
 
 // Experiment is one named, runnable entry of the paper's evaluation —
@@ -82,11 +85,15 @@ func (r *Runner) Coverage(name string) (cached, total int, err error) {
 
 // experimentKeys returns the memoized content keys of the named
 // experiment's points. Keys are pure functions of the runner's immutable
-// Options, so they are derived once; a server listing its catalogue on
-// every page poll must not re-fingerprint the whole sweep each time.
+// Options and (for trace-backed options) the trace files' contents, so
+// they are derived once per trace epoch; a server listing its catalogue
+// on every page poll must not re-fingerprint the whole sweep each time.
 func (r *Runner) experimentKeys(name string) ([]string, error) {
 	r.keyMu.Lock()
 	defer r.keyMu.Unlock()
+	if err := r.refreshKeyEpochLocked(); err != nil {
+		return nil, err
+	}
 	if keys, ok := r.pointKeys[name]; ok {
 		return keys, nil
 	}
@@ -103,11 +110,49 @@ func (r *Runner) experimentKeys(name string) ([]string, error) {
 	return keys, nil
 }
 
+// refreshKeyEpochLocked drops the memoized key lists when the trace
+// files backing the options have changed content since they were
+// derived. Synthetic-only options have a constant empty epoch and never
+// invalidate. A trace path that becomes unreadable after an epoch was
+// established (renamed or deleted under a live server) keeps the last
+// epoch's keys serving — the cached points remain valid, and the error
+// will surface from the simulation path if a cold point actually needs
+// the file. The caller holds keyMu.
+func (r *Runner) refreshKeyEpochLocked() error {
+	if len(r.opts.Traces) == 0 {
+		return nil
+	}
+	var epoch strings.Builder
+	for _, path := range r.opts.Traces {
+		// Sidecar- and registry-backed: a stat and a small JSON read per
+		// poll, at most one streaming scan per content state even when
+		// the sidecar cannot be written (we hold keyMu here).
+		hash, err := trace.ContentHash(path)
+		if err != nil {
+			if r.keyEpoch != "" {
+				return nil // fall back to the last resolved epoch
+			}
+			return err
+		}
+		epoch.WriteString(hash)
+	}
+	if e := epoch.String(); e != r.keyEpoch {
+		r.keyEpoch = e
+		r.pointKeys = make(map[string][]string)
+		r.rawKeys = make(map[string]string)
+	}
+	return nil
+}
+
 // rawCoverage is Coverage for the instrumented experiments stored as one
 // rendered table in the raw namespace; the key is memoized like the
 // point keys.
 func (r *Runner) rawCoverage(label string, cfg sim.Config) (cached, total int, err error) {
 	r.keyMu.Lock()
+	if err := r.refreshKeyEpochLocked(); err != nil {
+		r.keyMu.Unlock()
+		return 0, 0, err
+	}
 	key, ok := r.rawKeys[label]
 	if !ok {
 		key, err = rawTableKey(label, cfg)

@@ -33,6 +33,7 @@ type OptionSpec struct {
 	Insts      int64  // instructions per benign core; 0 = preset default
 	NRHs       string // comma-separated N_RH sweep; "" = preset default
 	Mechanisms string // comma-separated mechanism list; "" = preset default
+	Traces     string // comma-separated trace files driving benign cores; "" = synthetic workloads
 }
 
 // Resolve expands the spec into concrete Options, validating the preset
@@ -75,6 +76,15 @@ func (sp OptionSpec) Resolve() (Options, error) {
 		o.Mechanisms = o.Mechanisms[:0]
 		for _, m := range strings.Split(sp.Mechanisms, ",") {
 			o.Mechanisms = append(o.Mechanisms, strings.TrimSpace(m))
+		}
+	}
+	if sp.Traces != "" {
+		for _, t := range strings.Split(sp.Traces, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				return Options{}, fmt.Errorf("exp: empty trace path in %q", sp.Traces)
+			}
+			o.Traces = append(o.Traces, t)
 		}
 	}
 	return o, nil

@@ -208,6 +208,69 @@ func TestConcurrentPrefetchSharesSimulations(t *testing.T) {
 	}
 }
 
+// TestSlowPointSurvivesShortClaimTTL: the claim-heartbeat contract at
+// the orchestrator level. A fake point holder takes the claim and then
+// "simulates" for many times the claim TTL before writing its record; a
+// second runner arriving mid-hold must wait the whole time (the
+// heartbeat keeps the claim fresh) and then serve the holder's record
+// instead of stealing the claim and simulating the point again. Before
+// heartbeats this required hand-tuning SetClaimTTL to the point's
+// expected duration.
+func TestSlowPointSurvivesShortClaimTTL(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOptions()
+	// Generous relative to the ttl/4 heartbeat cadence so a starved
+	// goroutine on a loaded CI runner cannot make the claim look stale.
+	const ttl = 400 * time.Millisecond
+
+	holderStore, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterStore, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := NewRunnerWithStore(opts, waiterStore)
+	waiter.SetClaimTTL(ttl)
+	waiter.claimPoll = 10 * time.Millisecond
+
+	p := Point{Mech: "rfm", NRH: 128}
+	key, err := results.Key(waiter.configFor(p), waiter.mixes(p.Attack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := holderStore.TryClaim(key, ttl)
+	if err != nil || claim == nil {
+		t.Fatal("holder could not take the claim")
+	}
+	sentinel := []sim.MixResult{{Result: sim.Result{MixName: "slow-holder"}}}
+	go func() {
+		// The slow fake point: 4x the TTL of pure simulation time.
+		time.Sleep(4 * ttl)
+		if err := holderStore.Put(key, sentinel); err != nil {
+			t.Error(err)
+		}
+		claim.Release()
+	}()
+
+	rs, cached, err := waiter.point(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || len(rs) != 1 || rs[0].MixName != "slow-holder" {
+		name := ""
+		if len(rs) > 0 {
+			name = rs[0].MixName
+		}
+		t.Fatalf("waiter got (cached=%v, %d results, %q), want the holder's record",
+			cached, len(rs), name)
+	}
+	if got := waiter.Executed(); got != 0 {
+		t.Errorf("waiter simulated %d points despite the live claim, want 0", got)
+	}
+}
+
 // TestResetRecomputesDespiteDiskRecords: the -resume=false path. After
 // store.Reset, a prefetch over a fully persisted sweep must re-simulate
 // every point — in particular, the post-claim disk re-probe must not

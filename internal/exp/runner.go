@@ -25,6 +25,17 @@ type Options struct {
 	Fig2Mechs     []string   // the four motivation mechanisms of Fig. 2
 	Percentiles   []float64  // latency percentiles for Figs. 11/17
 	THthreats     []float64  // TH_threat sweep for Fig. 19
+
+	// Traces switches the workload catalogue from the synthetic H/M/L
+	// groups to recorded trace files, one benign core per file (see
+	// TraceMixes). Every point-sweep experiment point then replays
+	// these traces; attacker-family points add the synthetic attacker
+	// on an extra core. The instrumented experiments (Table 3,
+	// Section 5) build their own synthetic workloads and ignore this
+	// field. Points are keyed by the traces' content hashes, so a
+	// cache directory warmed with one spelling of the paths stays warm
+	// when the files move.
+	Traces []string
 }
 
 // DefaultOptions returns the scaled-down harness configuration.
@@ -109,10 +120,16 @@ type Runner struct {
 	executed  int64         // simulation points actually run (not served from the store)
 
 	// keyMu guards the memoized content-key lists behind Coverage. Keys
-	// are pure functions of the immutable Options, but deriving one
-	// means fingerprinting the full config + mixes and hashing it —
+	// are pure functions of the immutable Options — plus, for
+	// trace-backed options, of the trace files' contents — but deriving
+	// one means fingerprinting the full config + mixes and hashing it:
 	// too much to redo for every catalogue listing a server renders.
+	// keyEpoch concatenates the resolved trace content hashes; when a
+	// trace file is edited in place the epoch changes and the memoized
+	// keys are dropped, so a long-running server's coverage reports
+	// never go stale against the store.
 	keyMu     sync.Mutex
+	keyEpoch  string
 	pointKeys map[string][]string // experiment name -> point store keys
 	rawKeys   map[string]string   // raw-table label -> raw store key
 }
@@ -165,6 +182,9 @@ func (r *Runner) SetClaimTTL(d time.Duration) { r.claimTTL = d }
 func (r *Runner) Executed() int64 { return atomic.LoadInt64(&r.executed) }
 
 func (r *Runner) mixes(attack bool) []workload.Mix {
+	if len(r.opts.Traces) > 0 {
+		return TraceMixes(r.opts.Traces, r.opts.MixesPerGroup, attack)
+	}
 	if attack {
 		return workload.AttackMixes(r.opts.MixesPerGroup)
 	}
@@ -203,7 +223,17 @@ func (r *Runner) claimPollInterval() time.Duration {
 // store's raw namespace for ETA estimation.
 func (r *Runner) pointCtx(ctx context.Context, p Point) (rs []sim.MixResult, cached bool, err error) {
 	cfg := r.configFor(p)
-	mixes := r.mixes(p.Attack)
+	// Resolve trace content hashes once, up front, and simulate with the
+	// resolved mixes: the key below and the simulation must describe the
+	// same trace bytes. Were the mixes left unresolved, a trace edited
+	// while this worker waits out another's claim would simulate the new
+	// content yet store it under the old content's key —
+	// workload.NewSource verifies the pinned hash against the file at
+	// simulation time and fails loudly instead.
+	mixes, err := workload.ResolveTraceHashes(r.mixes(p.Attack))
+	if err != nil {
+		return nil, false, err
+	}
 	key, err := results.Key(cfg, mixes)
 	if err != nil {
 		return nil, false, err

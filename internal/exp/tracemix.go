@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"breakhammer/internal/workload"
+)
+
+// TraceMixes is the trace-driven workload catalogue: it substitutes for
+// the synthetic H/M/L mix groups when Options.Traces names recorded
+// trace files. Each mix runs one core per trace file, in the order
+// given.
+//
+// The all-benign family is a single mix — trace replay is deterministic,
+// so seed variants would be identical simulations. The attacker family
+// appends the paper's synthetic many-sided RowHammer attacker to the
+// trace cores and produces perGroup seed variants of it, mirroring how
+// the synthetic catalogue varies its attacker mixes.
+//
+// Mix and spec names are position-based ("TRACE-0", "trace0", ...) and
+// never mention the file paths: names participate in sim.Fingerprint,
+// and a trace mix's cached points must survive the files being renamed
+// (their content hashes are the identity — see workload.TraceSpec).
+func TraceMixes(files []string, perGroup int, attack bool) []workload.Mix {
+	specs := make([]workload.Spec, len(files))
+	for i, f := range files {
+		specs[i] = workload.TraceSpec(f, i)
+	}
+	if !attack {
+		return []workload.Mix{{Name: "TRACE-0", Specs: specs}}
+	}
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	mixes := make([]workload.Mix, 0, perGroup)
+	for v := 0; v < perGroup; v++ {
+		seed := int64(v)*104729 + 1
+		withAttacker := append(append([]workload.Spec(nil), specs...),
+			workload.AttackerSpec(v, seed))
+		mixes = append(mixes, workload.Mix{
+			Name:  fmt.Sprintf("TRACEA-%d", v),
+			Specs: withAttacker,
+		})
+	}
+	return mixes
+}

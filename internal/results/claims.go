@@ -4,14 +4,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
-// DefaultClaimTTL is the age past which an unreleased claim file is
-// considered abandoned (its owner crashed or was killed) and may be
-// stolen. Holders are expected to finish a point well within it at the
-// bundled harness scale; paper-scale sweeps should raise it via
-// exp.Runner.SetClaimTTL.
+// DefaultClaimTTL is the age past which an unreleased claim file's last
+// heartbeat is considered abandoned (its owner crashed or was killed)
+// and the claim may be stolen. Live holders refresh the file's mtime
+// every TTL/4 (see Claim), so even multi-hour paper-scale points stay
+// claimed without hand-tuning exp.Runner.SetClaimTTL.
 const DefaultClaimTTL = 30 * time.Minute
 
 // Claim marks one store key as in flight: while held, TryClaim for the
@@ -20,10 +21,21 @@ const DefaultClaimTTL = 30 * time.Minute
 // Claims are advisory: they exist so cooperating sweep workers do not
 // duplicate a simulation, not to guard correctness (the store's
 // append-only, last-wins records are already safe under duplication).
+//
+// A persistent claim heartbeats: a background goroutine refreshes the
+// claim file's mtime every quarter of the TTL for as long as the claim
+// is held, so a point that legitimately simulates for hours is never
+// mistaken for an abandoned one — the staleness test measures time
+// since the last heartbeat, not since the claim was taken. Crashed
+// holders stop heartbeating and their claims expire normally.
 type Claim struct {
 	store *Store
 	key   string
 	path  string // "" for memory-only stores
+
+	stop     chan struct{} // closes on Release; nil for memory-only claims
+	done     chan struct{} // the heartbeat goroutine has exited
+	released sync.Once     // Release is a no-op even under concurrent double calls
 }
 
 // TryClaim attempts to take the in-flight claim for key. It returns a
@@ -59,9 +71,34 @@ func (s *Store) TryClaim(key string, ttl time.Duration) (*Claim, error) {
 			return nil, nil
 		}
 		c.path = path
+		c.stop = make(chan struct{})
+		c.done = make(chan struct{})
+		go c.heartbeat(ttl / 4)
 	}
 	s.inflight[key] = true
 	return c, nil
+}
+
+// heartbeat refreshes the claim file's mtime on a fixed cadence until
+// Release. Refresh errors are ignored: the file may have been stolen by
+// a worker whose TTL was far shorter than ours, and the append-only
+// store stays correct even then.
+func (c *Claim) heartbeat(interval time.Duration) {
+	defer close(c.done)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			os.Chtimes(c.path, now, now)
+		}
+	}
 }
 
 // takeClaimFile creates path exclusively, stealing it first when it is
@@ -91,20 +128,30 @@ func takeClaimFile(path string, ttl time.Duration) (bool, error) {
 	return false, nil
 }
 
-// Release drops the claim, deleting its file for persistent stores.
-// Releasing a nil or already-released claim is a no-op.
+// Release drops the claim, stopping its heartbeat and deleting its file
+// for persistent stores. Releasing a nil or already-released claim is a
+// no-op, even from concurrent goroutines (a worker's defer racing a
+// shutdown path must not double-close the heartbeat channel).
 func (c *Claim) Release() {
 	if c == nil || c.store == nil {
 		return
 	}
-	s := c.store
-	s.mu.Lock()
-	delete(s.inflight, c.key)
-	s.mu.Unlock()
-	if c.path != "" {
-		os.Remove(c.path)
-	}
-	c.store = nil
+	// The Once alone makes repeated calls no-ops; c.store is never
+	// cleared, so there is no field write for concurrent callers to race
+	// on.
+	c.released.Do(func() {
+		s := c.store
+		s.mu.Lock()
+		delete(s.inflight, c.key)
+		s.mu.Unlock()
+		if c.stop != nil {
+			close(c.stop)
+			<-c.done // no heartbeat may touch the file after the remove below
+		}
+		if c.path != "" {
+			os.Remove(c.path)
+		}
+	})
 }
 
 // claimPath maps a key to its claim file under the claims/ subdirectory.

@@ -2,6 +2,7 @@ package results
 
 import (
 	"os"
+	"sync"
 	"testing"
 	"time"
 )
@@ -99,6 +100,78 @@ func TestClaimStaleExpiry(t *testing.T) {
 	if c3, err := s3.TryClaim(testKey, time.Minute); err != nil || c3 != nil {
 		t.Fatal("fresh stolen claim was not respected")
 	}
+}
+
+// TestClaimConcurrentDoubleRelease: Release is documented as a no-op on
+// an already-released claim — including concurrent double calls (a
+// worker's defer racing a shutdown path), which must not double-close
+// the heartbeat channel.
+func TestClaimConcurrentDoubleRelease(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.TryClaim(testKey, time.Minute)
+	if err != nil || c == nil {
+		t.Fatal("claim not granted")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Release()
+		}()
+	}
+	wg.Wait()
+	c2, err := s.TryClaim(testKey, time.Minute)
+	if err != nil || c2 == nil {
+		t.Fatal("claim not reacquirable after concurrent releases")
+	}
+	c2.Release()
+}
+
+// TestClaimHeartbeatKeepsClaimFresh: a held claim outlives its TTL many
+// times over because the heartbeat refreshes the claim file's mtime —
+// no other worker may steal it while the holder is alive, however slow
+// the point is. Without heartbeats this test fails: the file would age
+// past the TTL and the second TryClaim would steal it.
+func TestClaimHeartbeatKeepsClaimFresh(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous relative to the ttl/4 heartbeat cadence: the test must
+	// not flake when a loaded CI runner starves the heartbeat goroutine
+	// for tens of milliseconds.
+	const ttl = 400 * time.Millisecond
+	c1, err := s1.TryClaim(testKey, ttl)
+	if err != nil || c1 == nil {
+		t.Fatal("initial claim not granted")
+	}
+	// Model a slow simulation: hold the claim for several TTLs while a
+	// second worker keeps trying to steal it with the same short TTL.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(4 * ttl)
+	for time.Now().Before(deadline) {
+		if c2, err := s2.TryClaim(testKey, ttl); err != nil {
+			t.Fatal(err)
+		} else if c2 != nil {
+			t.Fatalf("heartbeating claim was stolen mid-hold (TTL %s)", ttl)
+		}
+		time.Sleep(ttl / 8)
+	}
+	c1.Release()
+	// Released: the key is immediately claimable again.
+	c3, err := s2.TryClaim(testKey, ttl)
+	if err != nil || c3 == nil {
+		t.Fatal("claim not reacquirable after the heartbeating holder released")
+	}
+	c3.Release()
 }
 
 // TestLiveClaims: held claims count, released and stale ones don't.

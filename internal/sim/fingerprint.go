@@ -57,7 +57,19 @@ func (c Config) normalizedForFingerprint() Config {
 // participates (adding a field changes the fingerprint, which is the
 // desired invalidation), while struct field order and defaulted-versus-
 // explicit spellings of the same knob do not.
+//
+// Trace-backed specs are fingerprinted by the trace file's content hash,
+// never its path (Spec.TraceFile is excluded from the encoding;
+// workload.ResolveTraceHashes fills Spec.TraceHash here when the caller
+// has not already). Renaming a trace file therefore preserves every key
+// derived from it, while editing one record changes them all — which is
+// why resolving can fail, and Fingerprint with an unreadable trace file
+// returns that error instead of silently keying on an empty hash.
 func Fingerprint(cfg Config, mixes []workload.Mix) ([]byte, error) {
+	mixes, err := workload.ResolveTraceHashes(mixes)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fingerprint: %w", err)
+	}
 	b, err := canonicalJSON(struct {
 		Config Config         `json:"config"`
 		Mixes  []workload.Mix `json:"mixes"`

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"breakhammer/internal/workload"
@@ -96,5 +98,59 @@ func TestFingerprintDistinguishesPoints(t *testing.T) {
 	}
 	if bytes.Equal(a, d) {
 		t.Error("fingerprint ignores the mixes")
+	}
+}
+
+// TestFingerprintTraceContentNotPath pins the trace-identity contract:
+// a trace-backed point fingerprints by the trace file's content hash,
+// so renaming (or copying) the file preserves the fingerprint, editing
+// one record changes it, and the path never appears in the encoding.
+func TestFingerprintTraceContentNotPath(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trace")
+	b := filepath.Join(dir, "renamed.trace")
+	content := []byte("1 0x10 R\n2 0x20 W\n")
+	if err := os.WriteFile(a, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := FastConfig()
+	mixFor := func(path string) []workload.Mix {
+		return []workload.Mix{{Name: "TRACE-0", Specs: []workload.Spec{workload.TraceSpec(path, 0)}}}
+	}
+	fpA, err := Fingerprint(cfg, mixFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := Fingerprint(cfg, mixFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fpA, fpB) {
+		t.Error("renaming the trace file changed the fingerprint")
+	}
+	if bytes.Contains(fpA, []byte("a.trace")) {
+		t.Errorf("fingerprint leaks the trace path: %s", fpA)
+	}
+
+	// Edit one record: every fingerprint derived from the trace changes.
+	edited := filepath.Join(dir, "edited.trace")
+	if err := os.WriteFile(edited, []byte("1 0x10 R\n2 0x28 W\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fpE, err := Fingerprint(cfg, mixFor(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fpA, fpE) {
+		t.Error("editing a trace record did not change the fingerprint")
+	}
+
+	// An unreadable trace file fails loudly instead of keying on an
+	// empty hash.
+	if _, err := Fingerprint(cfg, mixFor(filepath.Join(dir, "absent.trace"))); err == nil {
+		t.Error("Fingerprint accepted a missing trace file")
 	}
 }

@@ -182,8 +182,14 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	s.cores = make([]*cpu.Core, threads)
 	s.benign = make([]bool, threads)
 	for i, spec := range mix.Specs {
-		gen := workload.NewGenerator(spec, i)
-		s.cores[i] = cpu.New(i, cfg.Core, gen, port, cfg.TargetInsts)
+		// NewSource hands trace-backed specs an independent replay cursor
+		// (shared records, private position) and synthetic specs their
+		// generator.
+		src, err := workload.NewSource(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		s.cores[i] = cpu.New(i, cfg.Core, src, port, cfg.TargetInsts)
 		if s.bh != nil && cfg.ThrottleAt == "lsu" {
 			s.cores[i].SetLoadQuota(s.bh) // §4.4: throttle unresolved loads at the core
 		}

@@ -1,0 +1,59 @@
+package trace
+
+import "fmt"
+
+// Cursor replays a shared record slice through private position state:
+// hand every simulated core its own Cursor over one loaded Trace and the
+// cores advance independently, never aliasing each other's progress. It
+// implements breakhammer/internal/cpu.Trace and loops forever, like the
+// synthetic generators.
+//
+// Base and span place the replay inside the owning core's disjoint
+// address-space slice (workload.BaseLine): every record's line is first
+// confined to the slice (line mod span, when span > 0) and then rebased
+// by base. Real traces carry arbitrary 64-bit addresses; without the
+// confinement they would spill into other threads' regions and share
+// DRAM rows across cores, which the paper's methodology (§5.3) excludes.
+// The trace contributes the access pattern, base and span contribute the
+// placement.
+type Cursor struct {
+	recs []Record
+	base uint64
+	span uint64 // 0 = no confinement
+	i    int
+}
+
+// NewCursor returns an independent replay cursor over t's records,
+// confined to span lines (0 disables confinement) and rebased by base.
+func NewCursor(t *Trace, base, span uint64) (*Cursor, error) {
+	if t == nil {
+		return nil, fmt.Errorf("trace: cannot build a cursor over an empty trace")
+	}
+	return NewCursorOver(t.Records, base, span)
+}
+
+// NewCursorOver is NewCursor for a bare record slice (tests, adapters
+// that already hold decoded records).
+func NewCursorOver(recs []Record, base, span uint64) (*Cursor, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: cannot build a cursor over an empty trace")
+	}
+	return &Cursor{recs: recs, base: base, span: span}, nil
+}
+
+// Len returns the number of records in one replay loop.
+func (c *Cursor) Len() int { return len(c.recs) }
+
+// Next implements cpu.Trace, looping over the shared records.
+func (c *Cursor) Next() (bubbles int64, line uint64, write bool) {
+	r := c.recs[c.i]
+	c.i++
+	if c.i == len(c.recs) {
+		c.i = 0
+	}
+	line = r.Line
+	if c.span > 0 {
+		line %= c.span
+	}
+	return r.Bubbles, c.base + line, r.Write
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one decoded trace entry: the number of non-memory
+// instructions preceding the access, the accessed cache-line address, and
+// whether the access is a store.
+type Record struct {
+	Bubbles int64
+	Line    uint64
+	Write   bool
+}
+
+// Format selects (or detects) the on-disk trace dialect.
+type Format int
+
+// The supported trace dialects. FormatAuto sniffs the first record line:
+// a single field, or an address followed by an R/W marker, is a plain
+// address trace; anything else is a Ramulator instruction trace.
+const (
+	// FormatAuto detects the dialect from the first record line.
+	FormatAuto Format = iota
+	// FormatRamulator is "bubbles address [R|W]", one record per line —
+	// the format Ramulator's SimpleO3 frontend consumes.
+	FormatRamulator
+	// FormatAddress is "address [R|W]", one record per line: an address
+	// trace with no instruction-gap information (bubbles decode as 0).
+	FormatAddress
+)
+
+// String names the format for errors and manifests.
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatRamulator:
+		return "ramulator"
+	case FormatAddress:
+		return "address"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// gzipMagic is the two-byte header every gzip stream starts with.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// maybeGunzip sniffs br for the gzip magic and wraps it in a
+// decompressing reader when present. The returned closer is non-nil
+// only for gzip input (closing it surfaces checksum errors); a Peek
+// failure (e.g. an input shorter than two bytes) falls through to the
+// plain-text path, whose scanner reports the real problem.
+func maybeGunzip(br *bufio.Reader) (io.Reader, io.Closer, error) {
+	head, err := br.Peek(2)
+	if err == nil && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		return gz, gz, nil
+	}
+	return br, nil, nil
+}
+
+// Decode reads a complete trace from r. Gzip input is detected by its
+// magic bytes and decompressed transparently; blank lines (including a
+// trailing run of them), '#' comments and CRLF line endings are
+// tolerated in both dialects. An input with no records is an error: a
+// core handed an empty trace could never make progress.
+func Decode(r io.Reader, format Format) ([]Record, error) {
+	stream, closer, err := maybeGunzip(bufio.NewReaderSize(r, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	recs, _, err := decodeLines(stream, format)
+	return recs, err
+}
+
+// decodeLines parses the decompressed line stream into a record slice,
+// reporting the concrete dialect it ended up using (== format unless
+// format was FormatAuto).
+func decodeLines(r io.Reader, format Format) ([]Record, Format, error) {
+	var recs []Record
+	f, _, err := decodeStream(r, format, func(rec Record) { recs = append(recs, rec) })
+	return recs, f, err
+}
+
+// decodeStream is the streaming core of the decoders: it parses records
+// one line at a time and hands each to fn without retaining any —
+// manifest derivation over a multi-gigabyte trace must not materialise
+// it. It returns the concrete dialect and the record count.
+func decodeStream(r io.Reader, format Format, fn func(Record)) (Format, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo, n := 0, 0
+	for sc.Scan() {
+		lineNo++
+		// TrimSpace also strips the '\r' a CRLF-encoded trace leaves at
+		// the end of every scanned line.
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if format == FormatAuto {
+			format = detectFormat(fields)
+		}
+		rec, err := parseRecord(fields, format)
+		if err != nil {
+			return format, n, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		fn(rec)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return format, n, fmt.Errorf("trace: %w", err)
+	}
+	if n == 0 {
+		return format, 0, fmt.Errorf("trace: input contains no records (only blank lines or comments)")
+	}
+	return format, n, nil
+}
+
+// detectFormat classifies the first record line. A single field, or an
+// address followed by an R/W marker, can only be a plain address trace;
+// everything else parses as Ramulator (whose two-field form "bubbles
+// address" wins the ambiguous all-numeric case, matching the richer
+// dialect the rest of the file most likely uses).
+func detectFormat(fields []string) Format {
+	if len(fields) == 1 {
+		return FormatAddress
+	}
+	if len(fields) == 2 && isOp(fields[1]) {
+		if _, err := parseAddr(fields[0]); err == nil {
+			return FormatAddress
+		}
+	}
+	return FormatRamulator
+}
+
+// parseRecord parses one record line in the given concrete dialect.
+func parseRecord(fields []string, format Format) (Record, error) {
+	switch format {
+	case FormatAddress:
+		if len(fields) < 1 || len(fields) > 2 {
+			return Record{}, fmt.Errorf("address format: want 1-2 fields, got %d", len(fields))
+		}
+		addr, err := parseAddr(fields[0])
+		if err != nil {
+			return Record{}, err
+		}
+		rec := Record{Line: addr}
+		if len(fields) == 2 {
+			w, err := parseOp(fields[1])
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Write = w
+		}
+		return rec, nil
+	case FormatRamulator:
+		if len(fields) < 2 || len(fields) > 3 {
+			return Record{}, fmt.Errorf("ramulator format: want 2-3 fields, got %d", len(fields))
+		}
+		bubbles, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || bubbles < 0 {
+			return Record{}, fmt.Errorf("bad bubble count %q", fields[0])
+		}
+		addr, err := parseAddr(fields[1])
+		if err != nil {
+			return Record{}, err
+		}
+		rec := Record{Bubbles: bubbles, Line: addr}
+		if len(fields) == 3 {
+			w, err := parseOp(fields[2])
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Write = w
+		}
+		return rec, nil
+	}
+	return Record{}, fmt.Errorf("unsupported format %v", format)
+}
+
+// parseAddr accepts decimal or 0x-prefixed hex. Bare hex is deliberately
+// not guessed at: "1234" would be ambiguous, and silently mis-decoding
+// every address is worse than a clear parse error.
+func parseAddr(s string) (uint64, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// isOp reports whether s is an R/W marker.
+func isOp(s string) bool {
+	switch strings.ToUpper(s) {
+	case "R", "W":
+		return true
+	}
+	return false
+}
+
+// parseOp decodes an R/W marker into its store flag.
+func parseOp(s string) (write bool, err error) {
+	switch strings.ToUpper(s) {
+	case "R":
+		return false, nil
+	case "W":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad op %q (want R or W)", s)
+}

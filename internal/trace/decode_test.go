@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRamulator(t *testing.T) {
+	in := "# header\n10 0x40 R\n0 0X80 W\n5 128\n"
+	recs, err := Decode(strings.NewReader(in), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{10, 0x40, false}, {0, 0x80, true}, {5, 128, false}}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, rec, want[i])
+		}
+	}
+}
+
+func TestDecodeAddressFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bare", "0x40\n0x80\n128\n"},
+		{"with ops", "0x40 R\n0x80 W\n128 r\n"},
+	}
+	for _, tc := range cases {
+		recs, err := Decode(strings.NewReader(tc.in), FormatAuto)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(recs) != 3 {
+			t.Fatalf("%s: got %d records, want 3", tc.name, len(recs))
+		}
+		for i, rec := range recs {
+			if rec.Bubbles != 0 {
+				t.Errorf("%s: record %d bubbles = %d, want 0", tc.name, i, rec.Bubbles)
+			}
+		}
+		if recs[0].Line != 0x40 || recs[2].Line != 128 {
+			t.Errorf("%s: addresses decoded wrong: %+v", tc.name, recs)
+		}
+	}
+	// The ambiguous all-numeric two-field line decodes as Ramulator.
+	recs, err := Decode(strings.NewReader("5 128\n"), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Bubbles != 5 || recs[0].Line != 128 {
+		t.Errorf("ambiguous line = %+v, want bubbles=5 line=128", recs[0])
+	}
+}
+
+func TestDecodeForcedFormat(t *testing.T) {
+	// A single-field line is invalid when the Ramulator dialect is forced
+	// (this is what keeps workload.ParseTrace strict).
+	if _, err := Decode(strings.NewReader("128\n"), FormatRamulator); err == nil {
+		t.Error("FormatRamulator accepted a single-field line")
+	}
+	// A three-field line is invalid in the address dialect.
+	if _, err := Decode(strings.NewReader("1 0x40 R\n"), FormatAddress); err == nil {
+		t.Error("FormatAddress accepted a three-field line")
+	}
+}
+
+func TestDecodeGzip(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte("# gz trace\n3 0x40 W\n1 0x80\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Decode(bytes.NewReader(buf.Bytes()), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != (Record{3, 0x40, true}) {
+		t.Fatalf("gzip decode = %+v", recs)
+	}
+}
+
+func TestDecodeCRLFAndTrailingBlanks(t *testing.T) {
+	in := "# dos file\r\n10 0x40 R\r\n0 0x80 W\r\n\r\n\n\n"
+	recs, err := Decode(strings.NewReader(in), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0] != (Record{10, 0x40, false}) || recs[1] != (Record{0, 0x80, true}) {
+		t.Errorf("CRLF decode = %+v", recs)
+	}
+}
+
+func TestDecodeEmptyTrace(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "# only comments\n# more\n"} {
+		_, err := Decode(strings.NewReader(in), FormatAuto)
+		if err == nil {
+			t.Errorf("Decode(%q) accepted an empty trace", in)
+		} else if !strings.Contains(err.Error(), "no records") {
+			t.Errorf("Decode(%q) error %q does not name the problem", in, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"x 0x40\n",     // bad bubbles
+		"-1 0x40\n",    // negative bubbles
+		"1 zz\n",       // bad address
+		"1 0x40 X\n",   // bad op
+		"1 2 3 4\n",    // too many fields
+		"0x40 R\nzz\n", // valid address-format head, bad record later
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in), FormatAuto); err == nil {
+			t.Errorf("Decode(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestCursorIndependence(t *testing.T) {
+	recs := []Record{{1, 10, false}, {2, 20, true}, {3, 30, false}}
+	a, err := NewCursorOver(recs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCursorOver(recs, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave the cursors; each must see the full sequence (looped)
+	// regardless of the other's progress.
+	for i := 0; i < 7; i++ {
+		bb, la, _ := a.Next()
+		want := recs[i%len(recs)]
+		if bb != want.Bubbles || la != want.Line {
+			t.Fatalf("cursor a record %d = (%d, %d), want %+v", i, bb, la, want)
+		}
+		if i%2 == 0 {
+			_, lb, _ := b.Next()
+			if lb != 1000+recs[(i/2)%len(recs)].Line {
+				t.Fatalf("cursor b diverged at step %d: line %d", i, lb)
+			}
+		}
+	}
+	if _, err := NewCursorOver(nil, 0, 0); err == nil {
+		t.Error("NewCursorOver accepted an empty record slice")
+	}
+}
+
+func TestCursorSpanConfinement(t *testing.T) {
+	// Addresses beyond the span are confined (mod span) before rebasing,
+	// so a cursor can never produce a line outside [base, base+span).
+	recs := []Record{{0, 0x10, false}, {0, 1<<40 + 0x20, false}, {0, 1024 + 0x30, false}}
+	c, err := NewCursorOver(recs, 5000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{5000 + 0x10, 5000 + 0x20, 5000 + 0x30}
+	for i, w := range want {
+		_, l, _ := c.Next()
+		if l != w {
+			t.Errorf("record %d confined to %#x, want %#x", i, l, w)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package trace is the trace-driven workload subsystem: it decodes
+// recorded memory traces (the role SPEC CPU2006/2017, TPC and GAP traces
+// play in the paper's evaluation), addresses them by the SHA-256 of their
+// decompressed content, and hands out independent per-core replay cursors
+// over one shared in-memory copy.
+//
+// Three layers, bottom up:
+//
+//   - Decoders (decode.go): streaming parsers for two line-oriented
+//     formats — Ramulator-style instruction traces ("bubbles address
+//     [R|W]") and plain address traces ("address [R|W]") — with
+//     transparent gzip, comment, CRLF and trailing-blank-line tolerance.
+//
+//   - Registry (registry.go): Load reads a trace file once, hashes the
+//     decompressed bytes, derives a Manifest (record count, read/write
+//     split, footprint) and memoizes the parsed records per path, so N
+//     cores and repeated fingerprints share a single parse. The manifest
+//     persists as a sidecar JSON file next to the trace, letting sweeps
+//     report a trace's scale without re-scanning it; a corrupt or stale
+//     sidecar is silently re-derived.
+//
+//   - Cursors (cursor.go): each simulated core replays the shared record
+//     slice through its own Cursor (position state is per-cursor, records
+//     are shared), rebased into the core's disjoint address-space slice.
+//
+// Everything above identifies a trace by its content hash, never its
+// path: the results store stays honest when files are renamed or moved,
+// and editing a single record changes every key derived from the trace.
+package trace

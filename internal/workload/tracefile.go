@@ -4,8 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
+
+	"breakhammer/internal/trace"
 )
 
 // Trace file format (one record per line, Ramulator-style):
@@ -13,94 +13,74 @@ import (
 //	<bubbles> <line-address> [R|W]
 //
 // bubbles is the number of non-memory instructions preceding the access;
-// the line address is hexadecimal (0x-prefixed or bare) or decimal; the
+// the line address is decimal or 0x-prefixed hexadecimal; the
 // optional third field marks stores (default: load). Blank lines and
-// lines starting with '#' are ignored. FileTrace replays the records in
-// a loop, like the synthetic generators.
+// lines starting with '#' are ignored. Decoding — including gzip and
+// CRLF tolerance and the plain address dialect — lives in
+// breakhammer/internal/trace; this file keeps the workload-level
+// wrappers.
 
-// Record is one parsed trace entry.
-type Record struct {
-	Bubbles int64
-	Line    uint64
-	Write   bool
-}
+// Record is one parsed trace entry (an alias of the trace package's
+// record type, so decoded slices flow between the layers without
+// copying).
+type Record = trace.Record
 
 // FileTrace replays parsed records forever. It implements cpu.Trace.
+//
+// A FileTrace's own Next advances a single embedded cursor, so a
+// *FileTrace must not be shared between cores: two cores handed the same
+// value would interleave one position and each observe half the trace.
+// Cores replaying one shared trace take independent cursors via Cursor.
 type FileTrace struct {
 	recs []Record
-	i    int
+	cur  trace.Cursor
 }
 
-// ParseTrace reads a trace file into memory.
+// ParseTrace reads a Ramulator-style trace into memory. The strict
+// instruction-trace dialect is enforced (a bare address trace is
+// rejected); use the trace package directly for multi-format decoding.
 func ParseTrace(r io.Reader) (*FileTrace, error) {
-	var recs []Record
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("workload: trace line %d: want 2-3 fields, got %d", lineNo, len(fields))
-		}
-		bubbles, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil || bubbles < 0 {
-			return nil, fmt.Errorf("workload: trace line %d: bad bubble count %q", lineNo, fields[0])
-		}
-		addr, err := parseAddr(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: %v", lineNo, err)
-		}
-		rec := Record{Bubbles: bubbles, Line: addr}
-		if len(fields) == 3 {
-			switch strings.ToUpper(fields[2]) {
-			case "R":
-			case "W":
-				rec.Write = true
-			default:
-				return nil, fmt.Errorf("workload: trace line %d: bad op %q (want R or W)", lineNo, fields[2])
-			}
-		}
-		recs = append(recs, rec)
+	recs, err := trace.Decode(r, trace.FormatRamulator)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("workload: trace contains no records")
-	}
-	return &FileTrace{recs: recs}, nil
+	t := &FileTrace{recs: recs}
+	t.cur = *mustCursor(recs)
+	return t, nil
 }
 
-func parseAddr(s string) (uint64, error) {
-	base := 10
-	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
-		s, base = s[2:], 16
-	}
-	v, err := strconv.ParseUint(s, base, 64)
+// mustCursor builds a cursor over recs; the callers guarantee recs is
+// non-empty (Decode rejects empty traces).
+func mustCursor(recs []Record) *trace.Cursor {
+	c, err := trace.NewCursorOver(recs, 0, 0)
 	if err != nil {
-		return 0, fmt.Errorf("bad address %q", s)
+		panic(err)
 	}
-	return v, nil
+	return c
 }
 
 // Len returns the number of records in one loop of the trace.
 func (t *FileTrace) Len() int { return len(t.recs) }
 
-// Next implements cpu.Trace, looping over the file's records.
+// Next implements cpu.Trace, looping over the file's records. It
+// advances the FileTrace's own embedded cursor — see Cursor for sharing
+// the records between cores.
 func (t *FileTrace) Next() (int64, uint64, bool) {
-	r := t.recs[t.i%len(t.recs)]
-	t.i++
-	return r.Bubbles, r.Line, r.Write
+	return t.cur.Next()
+}
+
+// Cursor returns a fresh, independent replay cursor over the trace's
+// shared records, starting from the first record. Each core replaying a
+// shared FileTrace must take its own cursor; the records themselves are
+// never copied.
+func (t *FileTrace) Cursor() *trace.Cursor {
+	return mustCursor(t.recs)
 }
 
 // WriteTrace samples n records from a generator into w, in the format
 // ParseTrace reads. It gives synthetic workloads a portable on-disk form
-// and produces test vectors for external tools.
+// and produces test vectors for external tools; bhtrace -gen is its CLI
+// front end.
 func WriteTrace(w io.Writer, spec Spec, thread int, n int) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# breakhammer trace: workload=%s class=%s thread=%d\n",

@@ -2,6 +2,10 @@ package workload
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,6 +61,37 @@ func TestParseTraceErrors(t *testing.T) {
 	}
 }
 
+// TestFileTraceIndependentCursors is the shared-cursor aliasing
+// regression test: two cores replaying one *FileTrace through Cursor()
+// each see the complete record sequence, however the other is
+// scheduled. (Sharing the FileTrace's own Next would interleave one
+// cursor and give each core half the trace.)
+func TestFileTraceIndependentCursors(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("1 0x10 R\n2 0x20 W\n3 0x30 R\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := tr.Cursor(), tr.Cursor()
+	// Advance c1 by a full loop first, then interleave: c2 must still
+	// start at record 0 and see every record in order.
+	for i := 0; i < tr.Len(); i++ {
+		c1.Next()
+	}
+	wantLines := []uint64{0x10, 0x20, 0x30, 0x10, 0x20, 0x30}
+	for i, want := range wantLines {
+		_, l1, _ := c1.Next()
+		_, l2, _ := c2.Next()
+		if l1 != want || l2 != want {
+			t.Fatalf("step %d: cursors saw (%#x, %#x), want both %#x", i, l1, l2, want)
+		}
+	}
+	// The demonstration of the old bug: the FileTrace's own embedded
+	// cursor is untouched by the derived cursors.
+	if _, l, _ := tr.Next(); l != 0x10 {
+		t.Errorf("FileTrace.Next started at %#x, want %#x", l, 0x10)
+	}
+}
+
 func TestWriteTraceRoundTrip(t *testing.T) {
 	spec := ClassSpec(Medium, 0, 77)
 	var buf bytes.Buffer
@@ -79,6 +114,140 @@ func TestWriteTraceRoundTrip(t *testing.T) {
 			t.Fatalf("record %d: file (%d,%#x,%v) != generator (%d,%#x,%v)",
 				i, fb, fl, fw, gb, gl, gw)
 		}
+	}
+}
+
+// TestNewSourceTraceBacked: a TraceFile spec replays the file rebased
+// into the thread's address-space slice, with an independent cursor per
+// thread; a stale TraceHash is rejected.
+func TestNewSourceTraceBacked(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	if err := os.WriteFile(path, []byte("1 0x10 R\n2 0x20 W\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := TraceSpec(path, 0)
+	if !spec.Benign() || spec.Class.String() != "T" {
+		t.Fatalf("TraceSpec = %+v, want benign class T", spec)
+	}
+
+	s0, err := NewSource(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewSource(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, l0, _ := s0.Next()
+	_, l3, _ := s3.Next()
+	if l0 != 0x10 {
+		t.Errorf("thread 0 line = %#x, want %#x", l0, 0x10)
+	}
+	if want := BaseLine(3) + 0x10; l3 != want {
+		t.Errorf("thread 3 line = %#x, want rebased %#x", l3, want)
+	}
+	// Each thread's cursor is independent: advancing s0 did not move s3.
+	if _, l, _ := s3.Next(); l != BaseLine(3)+0x20 {
+		t.Errorf("thread 3 second line = %#x, want %#x", l, BaseLine(3)+0x20)
+	}
+
+	// Real traces carry arbitrary addresses: replay confines them to the
+	// thread's slice instead of reaching into other threads' rows. A
+	// generator trace recorded on thread 2 (addresses already offset by
+	// BaseLine(2)) replays on thread 0 back at its slice-relative
+	// addresses — the mod removes the recorded offset.
+	wild := filepath.Join(dir, "wild.trace")
+	huge := 1<<45 + uint64(0x40)
+	rec2 := BaseLine(2) + 0x50
+	content := []byte(fmt.Sprintf("1 %#x R\n1 %#x R\n", huge, rec2))
+	if err := os.WriteFile(wild, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSource(TraceSpec(wild, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := BaseLine(1), BaseLine(2)
+	_, l1, _ := sw.Next()
+	_, l2, _ := sw.Next()
+	if l1 < lo || l1 >= hi || l2 < lo || l2 >= hi {
+		t.Errorf("confinement failed: lines %#x, %#x outside [%#x, %#x)", l1, l2, lo, hi)
+	}
+	if want := BaseLine(1) + huge%ThreadSpanLines; l1 != want {
+		t.Errorf("huge address replayed at %#x, want %#x", l1, want)
+	}
+	if want := BaseLine(1) + 0x50; l2 != want {
+		t.Errorf("thread-2 recorded address replayed at %#x, want %#x (offset not removed)", l2, want)
+	}
+
+	// Synthetic specs still come back as generators.
+	if _, err := NewSource(ClassSpec(High, 0, 1), 0); err != nil {
+		t.Fatalf("synthetic NewSource: %v", err)
+	}
+	// A class-T spec without a file is a configuration error.
+	if _, err := NewSource(Spec{Name: "t", Class: Trace}, 0); err == nil {
+		t.Error("NewSource accepted a trace spec without a TraceFile")
+	}
+	// A stale hash is rejected rather than silently simulating new bytes.
+	bad := spec
+	bad.TraceHash = "0000"
+	if _, err := NewSource(bad, 0); err == nil {
+		t.Error("NewSource accepted a spec whose TraceHash does not match the file")
+	}
+}
+
+// TestResolveTraceHashes: hashes are filled from content, the input is
+// not mutated, and the JSON (fingerprint) encoding carries the hash but
+// never the path.
+func TestResolveTraceHashes(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trace")
+	b := filepath.Join(dir, "b.trace") // same content, different path
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte("1 0x10 R\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mixes := []Mix{{Name: "TRACE-0", Specs: []Spec{TraceSpec(a, 0)}}}
+	resolved, err := ResolveTraceHashes(mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixes[0].Specs[0].TraceHash != "" {
+		t.Error("ResolveTraceHashes mutated its input")
+	}
+	hash := resolved[0].Specs[0].TraceHash
+	if hash == "" {
+		t.Fatal("hash not resolved")
+	}
+	mixesB := []Mix{{Name: "TRACE-0", Specs: []Spec{TraceSpec(b, 0)}}}
+	resolvedB, err := ResolveTraceHashes(mixesB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolvedB[0].Specs[0].TraceHash != hash {
+		t.Error("same content at two paths resolved to different hashes")
+	}
+
+	raw, err := json.Marshal(resolved[0].Specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "a.trace") {
+		t.Errorf("spec JSON leaks the trace path: %s", raw)
+	}
+	if !strings.Contains(string(raw), hash) {
+		t.Errorf("spec JSON misses the content hash: %s", raw)
+	}
+	// Synthetic-only mixes pass through untouched (same backing array).
+	synth := BenignMixes(1)
+	out, err := ResolveTraceHashes(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &synth[0] {
+		t.Error("synthetic mixes were needlessly copied")
 	}
 }
 

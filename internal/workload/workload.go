@@ -13,18 +13,22 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+
+	"breakhammer/internal/trace"
 )
 
 // Class is an application's memory-intensity class (§7: groups by RBMPKI).
 type Class int
 
 // Memory-intensity classes. The paper's mixes are spelled with the letters
-// H, M, L and A.
+// H, M, L and A; Trace marks applications replaying a recorded trace file
+// instead of a synthetic class model.
 const (
 	Low Class = iota
 	Medium
 	High
 	Attacker
+	Trace
 )
 
 // String returns the mix letter for the class.
@@ -38,6 +42,8 @@ func (c Class) String() string {
 		return "H"
 	case Attacker:
 		return "A"
+	case Trace:
+		return "T"
 	}
 	return "?"
 }
@@ -90,6 +96,24 @@ type Spec struct {
 	RotatePeriod int64
 	RotateSlots  int
 	RotateIndex  int
+
+	// TraceFile replays a recorded trace (internal/trace formats) in
+	// place of the synthetic model: NewSource hands each core an
+	// independent cursor over the file's records, rebased into the
+	// core's address-space slice. The path is deliberately excluded from
+	// the JSON encoding — and therefore from sim.Fingerprint and every
+	// results-store key — because results are addressed by the trace's
+	// content (TraceHash), never its location: renaming or moving a
+	// trace file must not orphan its cached points.
+	TraceFile string `json:"-"`
+
+	// TraceHash is the SHA-256 over the trace's decompressed bytes. It
+	// is resolved from TraceFile on demand (sim.Fingerprint calls
+	// ResolveTraceHashes) and is the only trace identity that enters
+	// fingerprints; when pre-set, NewSource verifies the file still
+	// matches it, failing loudly instead of simulating a different
+	// trace under a stale key.
+	TraceHash string `json:",omitempty"`
 }
 
 // Benign reports whether the spec is not an attacker.
@@ -158,6 +182,88 @@ func RotatingAttackerSpec(index, slots int, period int64, seed int64) Spec {
 	return s
 }
 
+// TraceSpec returns a benign spec replaying the trace file at path on
+// core idx. The spec's Name is position-based ("trace0", "trace1", ...)
+// rather than path-based on purpose: the name participates in
+// sim.Fingerprint, and a cached point must survive the trace file being
+// renamed or moved — its content hash, not its spelling, is the
+// identity.
+func TraceSpec(path string, idx int) Spec {
+	return Spec{
+		Name:      fmt.Sprintf("trace%d", idx),
+		Class:     Trace,
+		TraceFile: path,
+	}
+}
+
+// ResolveTraceHashes returns a copy of mixes in which every trace-backed
+// spec has its TraceHash filled in from the trace file's content — via
+// the sidecar manifest when it is warm (one stat and a small JSON read;
+// the records are only materialised when a simulation actually starts).
+// Mixes without trace specs are returned unchanged. sim.Fingerprint calls
+// this so that cache keys embed trace content, never trace paths.
+func ResolveTraceHashes(mixes []Mix) ([]Mix, error) {
+	out := mixes
+	copied := false
+	for i, m := range mixes {
+		for j, spec := range m.Specs {
+			if spec.TraceFile == "" || spec.TraceHash != "" {
+				continue
+			}
+			hash, err := trace.ContentHash(spec.TraceFile)
+			if err != nil {
+				return nil, fmt.Errorf("workload: resolving %s: %w", spec.TraceFile, err)
+			}
+			if !copied {
+				// Copy-on-write: the caller's mixes (and their spec
+				// slices) stay untouched.
+				out = make([]Mix, len(mixes))
+				copy(out, mixes)
+				copied = true
+			}
+			if &out[i].Specs[0] == &m.Specs[0] {
+				out[i].Specs = append([]Spec(nil), m.Specs...)
+			}
+			out[i].Specs[j].TraceHash = hash
+		}
+	}
+	return out, nil
+}
+
+// Source supplies one core's instruction stream. It is structurally
+// identical to breakhammer/internal/cpu.Trace; both the synthetic
+// Generator and trace-replay cursors implement it.
+type Source interface {
+	Next() (bubbles int64, line uint64, write bool)
+}
+
+// NewSource builds the instruction source for a spec bound to a hardware
+// thread: an independent replay cursor over the spec's trace file when
+// TraceFile is set (confined and rebased into the thread's address-space
+// slice, so N cores can share one trace without sharing rows or cursor
+// state — real traces carry arbitrary 64-bit addresses that would
+// otherwise alias other threads' rows), and the synthetic Generator
+// otherwise. A pre-set TraceHash is verified against the file —
+// simulating different bytes under a stale identity would poison every
+// key derived from the spec.
+func NewSource(spec Spec, thread int) (Source, error) {
+	if spec.TraceFile != "" {
+		t, err := trace.Load(spec.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		if spec.TraceHash != "" && spec.TraceHash != t.Hash {
+			return nil, fmt.Errorf("workload: %s: content hash %.12s does not match the spec's %.12s (file edited since the spec was resolved?)",
+				spec.TraceFile, t.Hash, spec.TraceHash)
+		}
+		return trace.NewCursor(t, BaseLine(thread), ThreadSpanLines)
+	}
+	if spec.Class == Trace {
+		return nil, fmt.Errorf("workload: spec %q has class T but no TraceFile", spec.Name)
+	}
+	return NewGenerator(spec, thread), nil
+}
+
 // threadRowStride separates the row regions of different hardware threads
 // so that threads do not share DRAM rows (§5.3 discusses shared rows as an
 // attack surface; the evaluation keeps address spaces disjoint).
@@ -167,6 +273,14 @@ const threadRowStride = 16384
 // under the MOP mapping of the Table 1 topology: 2 (MOP block) + 1 (bank)
 // + 3 (bank group) + 1 (rank) + 5 (column high) = 12.
 const rowShiftLines = 12
+
+// ThreadSpanLines is the size, in cache lines, of one thread's disjoint
+// address-space slice: BaseLine(t+1) - BaseLine(t). Trace replay confines
+// every record address to this span (line mod span) before rebasing, so
+// arbitrary recorded addresses — and traces written from generators bound
+// to other threads — never reach into another thread's rows. The span is
+// a multiple of the row size, so confinement preserves row locality.
+const ThreadSpanLines = uint64(threadRowStride) << rowShiftLines
 
 // BaseLine returns the first line address of a thread's address space.
 func BaseLine(thread int) uint64 {
