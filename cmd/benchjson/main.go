@@ -1,0 +1,156 @@
+// benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record on stdout, stamped with the host's parallelism so a
+// measurement can never be read without the context that produced it
+// (a 1-core container and a 32-core sweep box tell opposite stories
+// about the channel-tick worker pool).
+//
+// For every benchmark pair named .../serial-<k> and .../parallel-<k> it
+// also derives speedup_<k> = serial ns/op ÷ parallel ns/op, which is the
+// headline number EXPERIMENTS.md's parallel-ticking section and the CI
+// bench artifact track.
+//
+// Usage:
+//
+//	go test -bench ParallelTicking -benchtime 2x -run '^$' . | go run ./cmd/benchjson > BENCH_parallel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+// benchLine matches one result line: name, iteration count, ns/op, and
+// any trailing custom metrics ("123 cycles" pairs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	note := flag.String("note", "", "free-form context recorded in the report (host class, pinning, benchtime)")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			log.Fatalf("iteration count %q: %v", m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			log.Fatalf("ns/op %q: %v", m[3], err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:       m[1],
+			Iterations: iters,
+			NsPerOp:    ns,
+			Metrics:    parseMetrics(m[4]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin (run `go test -bench ...` and pipe its output here)")
+	}
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseMetrics reads the "value unit" pairs go test appends after ns/op
+// (custom b.ReportMetric metrics like "123456 cycles").
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil
+	}
+	metrics := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return nil
+	}
+	return metrics
+}
+
+// deriveSpeedups pairs .../serial-<key> with .../parallel-<key> results
+// (the -<procs> suffix go test appends is ignored) and reports
+// serial÷parallel time ratios — above 1.0 the worker pool won.
+func deriveSpeedups(benchmarks []Benchmark) map[string]float64 {
+	serial := make(map[string]float64)
+	parallel := make(map[string]float64)
+	for _, b := range benchmarks {
+		name := b.Name
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip go test's -<procs> suffix
+			}
+		}
+		leaf := name[strings.LastIndex(name, "/")+1:]
+		switch {
+		case strings.HasPrefix(leaf, "serial-"):
+			serial[strings.TrimPrefix(leaf, "serial-")] = b.NsPerOp
+		case strings.HasPrefix(leaf, "parallel-"):
+			parallel[strings.TrimPrefix(leaf, "parallel-")] = b.NsPerOp
+		}
+	}
+	speedups := make(map[string]float64)
+	for key, s := range serial {
+		if p, ok := parallel[key]; ok && p > 0 {
+			speedups["speedup_"+key] = s / p
+		}
+	}
+	if len(speedups) == 0 {
+		return nil
+	}
+	return speedups
+}

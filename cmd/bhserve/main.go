@@ -51,6 +51,7 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently per figure job (0 = auto)")
 		figureJobs = flag.Int("figure-jobs", 2, "figure jobs computed concurrently")
 		compact    = flag.Bool("compact", true, "compact the store's shards at startup (drops superseded records)")
+		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,8 @@ func main() {
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
 		Traces:     *traces,
+
+		ParallelChannels: *parallelCh,
 	}.Resolve()
 	if err != nil {
 		log.Fatal(err)

@@ -38,19 +38,20 @@ func main() {
 	log.SetPrefix("bhsim: ")
 
 	var (
-		mixStr   = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core (ignored with -trace)")
-		traces   = flag.String("trace", "", "comma-separated trace files replayed by the benign cores, one core per file")
-		attack   = flag.Bool("attack", false, "with -trace: add the synthetic many-sided RowHammer attacker on an extra core")
-		mech     = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
-		nrh      = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
-		bh       = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
-		channels = flag.Int("channels", 1, "memory channels (power of two; each gets its own controller, DRAM device and mechanism instance)")
-		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		paper    = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
-		verbose  = flag.Bool("v", false, "print per-thread detail")
-		cacheDir = flag.String("cache-dir", "", "persist the result to this directory; identical reruns replay it")
-		jsonOut  = flag.Bool("json", false, "print the full result record as JSON")
+		mixStr     = flag.String("mix", "HHMA", "workload mix letters (H/M/L/A), one per core (ignored with -trace)")
+		traces     = flag.String("trace", "", "comma-separated trace files replayed by the benign cores, one core per file")
+		attack     = flag.Bool("attack", false, "with -trace: add the synthetic many-sided RowHammer attacker on an extra core")
+		mech       = flag.String("mech", "graphene", "mitigation mechanism (none, para, graphene, hydra, twice, aqua, rega, rfm, prac, blockhammer)")
+		nrh        = flag.Int("nrh", 1024, "RowHammer threshold N_RH")
+		bh         = flag.Bool("bh", false, "pair the mechanism with BreakHammer")
+		channels   = flag.Int("channels", 1, "memory channels (power of two; each gets its own controller, DRAM device and mechanism instance)")
+		parallelCh = flag.Bool("parallel-channels", false, "tick the memory channels on a worker pool (bit-identical results; wins only with multiple channels and spare cores)")
+		insts      = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		paper      = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
+		verbose    = flag.Bool("v", false, "print per-thread detail")
+		cacheDir   = flag.String("cache-dir", "", "persist the result to this directory; identical reruns replay it")
+		jsonOut    = flag.Bool("json", false, "print the full result record as JSON")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	cfg.NRH = *nrh
 	cfg.BreakHammer = *bh
 	cfg.Channels = *channels
+	cfg.ParallelChannels = *parallelCh
 	cfg.Seed = *seed
 	if *insts > 0 {
 		cfg.TargetInsts = *insts

@@ -59,6 +59,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "configuration points simulated concurrently (0 = auto: ~GOMAXPROCS/4, since each point also parallelizes across its mixes)")
 		progress = flag.Bool("progress", true, "stream per-point progress (with ETA) to stderr")
 		compact  = flag.Bool("compact", false, "with -cache-dir: compact the store's shards (drop superseded records) and exit")
+
+		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
 	)
 	flag.Parse()
 	if *csvOut && *jsonOut {
@@ -99,6 +101,8 @@ func main() {
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
 		Traces:     *traces,
+
+		ParallelChannels: *parallelCh,
 	}.Resolve()
 	if err != nil {
 		log.Fatal(err)

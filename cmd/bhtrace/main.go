@@ -1,8 +1,12 @@
-// bhtrace generates and inspects synthetic workload traces: it prints
-// trace records and a DRAM-level characterisation (bank/row spread,
-// expected MPKI) for any workload class, and synthesizes trace files
-// that bhsim -trace / bhsweep -traces replay (-gen), giving tests and CI
-// self-contained trace inputs with no external SPEC/GAP downloads.
+// bhtrace generates and inspects workload traces: it prints trace
+// records and a DRAM-level characterisation (bank/row spread, expected
+// MPKI) for any synthetic workload class, synthesizes trace files that
+// bhsim -trace / bhsweep -traces replay (-gen, giving tests and CI
+// self-contained trace inputs with no external SPEC/GAP downloads), and
+// characterises recorded trace files — records, read/write split,
+// footprint, MPKI — from their registry manifests (-summary with file
+// arguments; the sidecar *.manifest.json is reused when fresh and
+// derived in one streaming pass otherwise).
 //
 // Usage:
 //
@@ -11,6 +15,8 @@
 //	bhtrace -class A -summary -json        # the same, machine-readable
 //	bhtrace -class H -n 50000 -gen h.trace # synthesize a replayable trace
 //	bhtrace -class M -n 50000 -gen m.trace.gz  # gzip-compressed
+//	bhtrace -summary spec.trace gap.trace.gz   # characterise recorded files
+//	bhtrace -summary -json spec.trace          # the same, machine-readable
 package main
 
 import (
@@ -39,7 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "trace seed")
 		thread   = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
 		channels = flag.Int("channels", 1, "memory channels for the address decode (power of two)")
-		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records")
+		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records; with trace-file arguments, characterise those files from their registry manifests")
 		samples  = flag.Int("samples", 100000, "accesses to sample for -summary")
 		jsonOut  = flag.Bool("json", false, "emit JSON (one object per record, or one summary object)")
 		genOut   = flag.String("gen", "", "synthesize -n records into this trace file (gzip when the name ends in .gz) and print its manifest")
@@ -48,6 +54,16 @@ func main() {
 
 	if *channels <= 0 || *channels&(*channels-1) != 0 {
 		log.Fatalf("-channels must be a positive power of two, got %d", *channels)
+	}
+	if flag.NArg() > 0 {
+		if !*summary {
+			log.Fatalf("file arguments need -summary (got %q); -class modes take no files", flag.Args())
+		}
+		if *genOut != "" {
+			log.Fatal("-gen cannot be combined with trace-file arguments")
+		}
+		summarizeFiles(flag.Args(), *jsonOut)
+		return
 	}
 	if *genOut != "" && (*summary || *jsonOut) {
 		log.Fatal("-gen writes a trace file; it cannot be combined with -summary or -json")
@@ -158,6 +174,71 @@ func main() {
 	fmt.Printf("rows >=64 acc   %d\n", hot64)
 	fmt.Printf("rows >=512 acc  %d\n", hot512)
 	fmt.Printf("max row count   %d\n", maxRow)
+}
+
+// summarizeFiles characterises recorded trace files from their registry
+// manifests: a fresh sidecar costs one stat and a small JSON read; a
+// cold or stale one costs a single streaming pass (which also repairs
+// the sidecar) and never materialises the records. This is the
+// file-level counterpart of the synthetic -class summary, and it prints
+// exactly what simulations will see: the content hash is the identity
+// results-store keys embed.
+func summarizeFiles(paths []string, jsonOut bool) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i, path := range paths {
+		m, err := trace.ReadManifest(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jsonOut {
+			if err := enc.Encode(fileSummary{
+				Path: path, Hash: m.Hash, Format: m.Format,
+				Records: m.Records, Reads: m.Reads, Writes: m.Writes,
+				WriteFraction:  writeFraction(m),
+				FootprintLines: m.FootprintLines,
+				Instructions:   m.Instructions(), MPKI: m.MPKI(),
+				SizeBytes: m.Size,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("trace           %s\n", path)
+		fmt.Printf("sha256          %s\n", m.Hash)
+		fmt.Printf("format          %s (%d bytes on disk)\n", m.Format, m.Size)
+		fmt.Printf("records/loop    %d (%d reads, %d writes; write fraction %.3f)\n",
+			m.Records, m.Reads, m.Writes, writeFraction(m))
+		fmt.Printf("instructions    %d per replay loop (MPKI %.1f)\n", m.Instructions(), m.MPKI())
+		fmt.Printf("footprint       %d distinct lines\n", m.FootprintLines)
+	}
+}
+
+// writeFraction returns the share of records that are stores.
+func writeFraction(m trace.Manifest) float64 {
+	if m.Records == 0 {
+		return 0
+	}
+	return float64(m.Writes) / float64(m.Records)
+}
+
+// fileSummary is the JSON form of one recorded trace file's
+// characterisation (the manifest plus derived ratios).
+type fileSummary struct {
+	Path           string  `json:"path"`
+	Hash           string  `json:"hash"`
+	Format         string  `json:"format"`
+	Records        int     `json:"records"`
+	Reads          int64   `json:"reads"`
+	Writes         int64   `json:"writes"`
+	WriteFraction  float64 `json:"write_fraction"`
+	FootprintLines int     `json:"footprint_lines"`
+	Instructions   int64   `json:"instructions"`
+	MPKI           float64 `json:"mpki"`
+	SizeBytes      int64   `json:"size_bytes"`
 }
 
 // synthesize writes n generator records to path in the format the trace

@@ -34,6 +34,12 @@ type OptionSpec struct {
 	NRHs       string // comma-separated N_RH sweep; "" = preset default
 	Mechanisms string // comma-separated mechanism list; "" = preset default
 	Traces     string // comma-separated trace files driving benign cores; "" = synthetic workloads
+
+	// ParallelChannels ticks each simulation's memory channels on a
+	// worker pool. Results (and therefore store keys) are identical to
+	// the serial batch; this is purely an execution-speed knob for
+	// multi-channel points on hosts with spare cores.
+	ParallelChannels bool
 }
 
 // Resolve expands the spec into concrete Options, validating the preset
@@ -59,6 +65,7 @@ func (sp OptionSpec) Resolve() (Options, error) {
 	if sp.Channels > 0 {
 		o.Base.Channels = sp.Channels
 	}
+	o.Base.ParallelChannels = sp.ParallelChannels
 	if sp.Insts > 0 {
 		o.Base.TargetInsts = sp.Insts
 	}

@@ -112,6 +112,7 @@ type Controller struct {
 	responses []response // FIFO: read data arrivals are monotonic in time
 	fill      func(line uint64)
 	latency   LatencySink
+	events    *EventBuffer // non-nil: defer fill/latency/hook calls (see events.go)
 
 	hooks   []ActivateHook
 	actGate ActGate
@@ -308,6 +309,12 @@ func (c *Controller) deliverResponses() bool {
 		r := c.responses[0]
 		c.responses = c.responses[1:]
 		c.stats.ReadsDone[r.req.Thread]++
+		if c.events != nil {
+			c.events.events = append(c.events.events,
+				Event{Kind: EventLatency, Thread: r.req.Thread, Cycles: r.at - r.req.Arrive},
+				Event{Kind: EventFill, Line: r.req.Line})
+			continue
+		}
 		if c.latency != nil {
 			c.latency(r.req.Thread, r.at-r.req.Arrive)
 		}
@@ -492,8 +499,13 @@ func (c *Controller) schedule(queue *[]*Request) bool {
 		if req.Thread >= 0 {
 			c.stats.DemandACTs[req.Thread]++
 		}
-		for _, h := range c.hooks {
-			h(bank, req.Addr.Row, req.Thread, c.now)
+		if c.events != nil {
+			c.events.events = append(c.events.events,
+				Event{Kind: EventActivate, Bank: bank, Row: req.Addr.Row, Thread: req.Thread, At: c.now})
+		} else {
+			for _, h := range c.hooks {
+				h(bank, req.Addr.Row, req.Thread, c.now)
+			}
 		}
 		return true
 	}

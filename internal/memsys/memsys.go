@@ -32,11 +32,19 @@ type MemorySystem interface {
 	EnqueueWrite(line uint64, thread int) bool
 
 	// Tick advances every channel one command-bus cycle and reports
-	// whether any channel made progress.
+	// whether any channel made progress. Multi-channel systems tick as a
+	// cycle batch: every channel advances with cross-channel side effects
+	// (LLC fills, latency reports, activate hooks) buffered, then the
+	// buffers drain in channel-index order — the same observable event
+	// order whether the batch ran serially or on the worker pool.
 	Tick(now int64) bool
 	// NextWake returns a sound lower bound on the next cycle any channel
 	// could make progress, assuming the preceding Tick made none.
 	NextWake(now int64) int64
+	// Close releases the channel-tick worker pool, if one was started.
+	// It must be called once ticking is over; Tick after Close falls back
+	// to the serial batch.
+	Close()
 
 	// Channels reports the channel count; Channel returns one channel's
 	// controller (per-channel mechanism wiring, tests, characterisation).
@@ -68,6 +76,15 @@ type Config struct {
 	Timing     dram.Timing
 	MC         memctrl.Config
 	AddressMap string // "" or "mop" (MOP-across-channels), "rowint" (RoBaRaCoCh)
+
+	// Parallel ticks the channels of a cycle batch on a pool of reused
+	// worker goroutines instead of a serial loop. The pool sizes itself
+	// to min(Channels, GOMAXPROCS) shares — on a single-core host it
+	// collapses to the serial batch — and results are identical either
+	// way (the batch drain fixes the observable event order); it pays
+	// off when spare cores exist and the per-cycle channel work
+	// outweighs the barrier (see EXPERIMENTS.md).
+	Parallel bool
 }
 
 // Validate reports configuration errors.
@@ -94,6 +111,15 @@ type Interleaved struct {
 	mapper memctrl.AddressMapper
 	ctrls  []*memctrl.Controller
 	devs   []*dram.Device
+
+	// Multi-channel systems attach one event buffer per channel and
+	// drain them in channel-index order after each cycle batch, so the
+	// LLC, latency sinks and cross-channel activate hooks observe one
+	// deterministic event stream regardless of how the batch executed.
+	bufs []*memctrl.EventBuffer
+
+	pool   *tickPool // lazily started when cfg.Parallel and Channels > 1
+	closed bool
 }
 
 var _ MemorySystem = (*Interleaved)(nil)
@@ -124,6 +150,16 @@ func New(cfg Config, threads int) (*Interleaved, error) {
 		mc.SetMapper(mapper)
 		m.devs = append(m.devs, dev)
 		m.ctrls = append(m.ctrls, mc)
+	}
+	if n > 1 {
+		// Single-channel systems keep inline callback delivery (there is
+		// nothing to order against); multi-channel systems always run the
+		// buffered batch so serial and parallel execution are identical.
+		m.bufs = make([]*memctrl.EventBuffer, n)
+		for i, c := range m.ctrls {
+			m.bufs[i] = &memctrl.EventBuffer{}
+			c.SetEventBuffer(m.bufs[i])
+		}
 	}
 	return m, nil
 }
@@ -183,19 +219,40 @@ func (m *Interleaved) AddActivateHook(h ChannelActivateHook) {
 }
 
 // Tick implements MemorySystem. All channels tick every cycle; progress
-// on any channel counts.
+// on any channel counts. With more than one channel the cycle is a
+// batch: channels tick with cross-component side effects buffered
+// (serially, or concurrently on the worker pool when Config.Parallel is
+// set), a barrier ends the batch, and the buffers drain in channel-index
+// order — so every observer outside the channels sees the same event
+// stream either way, and a channel never reads another channel's
+// mid-cycle state.
 func (m *Interleaved) Tick(now int64) bool {
-	progress := false
-	for _, c := range m.ctrls {
-		if c.Tick(now) {
-			progress = true
+	if len(m.ctrls) == 1 {
+		return m.ctrls[0].Tick(now)
+	}
+	var progress bool
+	if p := m.tickPool(); p != nil {
+		progress = p.tick(now)
+	} else {
+		for _, c := range m.ctrls {
+			if c.Tick(now) {
+				progress = true
+			}
 		}
+	}
+	for _, c := range m.ctrls {
+		c.ReplayEvents()
 	}
 	return progress
 }
 
-// NextWake implements MemorySystem.
+// NextWake implements MemorySystem. Like Tick, the per-channel bounds of
+// a multi-channel system are gathered through the worker pool when one
+// is running; NextWake is read-only, so no drain follows.
 func (m *Interleaved) NextWake(now int64) int64 {
+	if p := m.tickPool(); p != nil {
+		return p.nextWake(now)
+	}
 	next := int64(1) << 62
 	for _, c := range m.ctrls {
 		if w := c.NextWake(now); w < next {
@@ -203,6 +260,29 @@ func (m *Interleaved) NextWake(now int64) int64 {
 		}
 	}
 	return next
+}
+
+// tickPool returns the worker pool, starting it on first use when the
+// configuration asks for parallel ticking and the system is still open.
+func (m *Interleaved) tickPool() *tickPool {
+	if !m.cfg.Parallel || m.closed || len(m.ctrls) < 2 {
+		return m.pool // nil unless started earlier
+	}
+	if m.pool == nil {
+		m.pool = newTickPool(m.ctrls)
+	}
+	return m.pool
+}
+
+// Close implements MemorySystem: it stops the channel-tick workers (if
+// parallel ticking ever started) and pins the system to the serial
+// batch. Close is idempotent; results are unaffected.
+func (m *Interleaved) Close() {
+	m.closed = true
+	if m.pool != nil {
+		m.pool.stop()
+		m.pool = nil
+	}
 }
 
 // Stats implements MemorySystem: per-channel counters summed into one

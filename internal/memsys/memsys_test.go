@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"fmt"
 	"testing"
 
 	"breakhammer/internal/dram"
@@ -152,5 +153,97 @@ func TestNextWakeCoversResponsesAndRefresh(t *testing.T) {
 	}
 	if !delivered {
 		t.Fatal("read never completed")
+	}
+}
+
+// driveBatch exercises one Interleaved with a deterministic request
+// pattern and records every externally observable event — fills,
+// latencies, activate-hook notifications and NextWake bounds — as one
+// interleaved sequence.
+func driveBatch(t *testing.T, parallel bool, channels int) []string {
+	t.Helper()
+	if parallel {
+		// Pin a multi-worker pool with an uneven channel striping, so the
+		// barrier and handoff paths are exercised (and race-detected) even
+		// on single-core hosts where the pool would collapse to one share.
+		forcedShares.Store(3)
+		defer forcedShares.Store(0)
+	}
+	cfg := testConfig(channels)
+	cfg.Parallel = parallel
+	m, err := New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var events []string
+	m.SetFillFunc(func(line uint64) {
+		events = append(events, fmt.Sprintf("fill %#x", line))
+	})
+	m.SetLatencySink(func(thread int, cycles int64) {
+		events = append(events, fmt.Sprintf("lat t%d %d", thread, cycles))
+	})
+	m.AddActivateHook(func(channel, bank, row, thread int, now int64) {
+		events = append(events, fmt.Sprintf("act ch%d b%d r%d t%d @%d", channel, bank, row, thread, now))
+	})
+	next := uint64(0)
+	for cycle := int64(0); cycle < 30000; cycle++ {
+		// Keep a trickle of traffic flowing so every channel stays busy
+		// and responses from different channels interleave.
+		if cycle%7 == 0 {
+			m.EnqueueRead(next*37, int(next)%2)
+			next++
+		}
+		if !m.Tick(cycle) && m.NextWake(cycle) <= cycle {
+			t.Fatalf("NextWake(%d) not in the future on an idle tick", cycle)
+		}
+	}
+	return events
+}
+
+// TestParallelBatchMatchesSerialBatch pins the memsys-level contract:
+// the worker pool with the per-cycle barrier and the channel-index-order
+// drain yields the exact event sequence of the serial batch.
+func TestParallelBatchMatchesSerialBatch(t *testing.T) {
+	for _, channels := range []int{2, 4, 8} {
+		serial := driveBatch(t, false, channels)
+		parallel := driveBatch(t, true, channels)
+		if len(serial) == 0 {
+			t.Fatalf("channels=%d: no events recorded", channels)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("channels=%d: serial saw %d events, parallel %d", channels, len(serial), len(parallel))
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("channels=%d: event %d diverges: serial %q, parallel %q", channels, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+// TestCloseIsIdempotentAndTickSurvivesClose: Close may run more than
+// once, and a closed system still ticks (serially) with sound results.
+func TestCloseIsIdempotentAndTickSurvivesClose(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Parallel = true
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fills := 0
+	m.SetFillFunc(func(uint64) { fills++ })
+	m.EnqueueRead(0, 0)
+	for cycle := int64(0); cycle < 2000; cycle++ {
+		m.Tick(cycle)
+	}
+	m.Close()
+	m.Close()
+	m.EnqueueRead(64, 0)
+	for cycle := int64(2000); cycle < 4000; cycle++ {
+		m.Tick(cycle)
+	}
+	if fills != 2 {
+		t.Fatalf("completed %d of 2 reads across Close", fills)
 	}
 }

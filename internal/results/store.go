@@ -35,7 +35,15 @@ import (
 // change to the simulator alters what a stored result means (new metrics,
 // semantic fixes); old shards are then skipped at load instead of serving
 // stale numbers.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	2: multi-channel ticking became a cycle batch (cross-channel side
+//	   effects drain at the barrier in channel-index order), which
+//	   slightly re-times multi-channel simulations; pre-batch
+//	   multi-channel records are unreproducible and must not be served.
+//	1: initial persistent store.
+const SchemaVersion = 2
 
 // Key returns the content address of one experiment point: a hex SHA-256
 // over the schema version and the canonical fingerprint of (config,

@@ -31,6 +31,10 @@ func canonicalJSON(v any) ([]byte, error) {
 // therefore cache — identically.
 func (c Config) normalizedForFingerprint() Config {
 	c.Channels = c.channels()
+	// Parallel ticking is an execution strategy, not a simulated system:
+	// serial and parallel runs are bit-identical, so they must share one
+	// fingerprint (and therefore one results-store key).
+	c.ParallelChannels = false
 	c.BHWindow = c.bhWindow()
 	if c.BHThreat == 0 {
 		c.BHThreat = 32

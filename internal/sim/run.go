@@ -32,7 +32,8 @@ func aloneKey(cfg Config, spec workload.Spec) string {
 	c.RowPressFactor = 0
 	c.ThrottleAt = ""
 	c.BHWindow, c.BHThreat, c.BHOutlier = 0, 0, 0
-	c.Seed = 0 // the trace stream is seeded by spec.Seed, not cfg.Seed
+	c.Seed = 0                 // the trace stream is seeded by spec.Seed, not cfg.Seed
+	c.ParallelChannels = false // execution strategy; results are identical
 	return fmt.Sprintf("%+v|%+v", c, spec)
 }
 

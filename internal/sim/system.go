@@ -94,6 +94,7 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 		Timing:     timing,
 		MC:         cfg.MC,
 		AddressMap: cfg.AddressMap,
+		Parallel:   cfg.ParallelChannels,
 	}, threads)
 	if err != nil {
 		return nil, err
@@ -258,6 +259,10 @@ type Result struct {
 // timing constraint) are skipped in one jump to the earliest wake-up
 // signal — the two loops produce identical simulations.
 func (s *System) Run() Result {
+	// Release the channel-tick workers (if ParallelChannels started any)
+	// once the simulation is over; rerunning a closed system falls back
+	// to the serial batch with identical results.
+	defer s.mem.Close()
 	if s.everyCycle {
 		return s.runEveryCycle()
 	}
