@@ -1,23 +1,32 @@
-// benchjson converts `go test -bench` output on stdin into a JSON
-// benchmark record on stdout, stamped with the host's parallelism so a
+// benchjson converts `go test -bench` output into a JSON benchmark
+// record on stdout, stamped with the host's parallelism so a
 // measurement can never be read without the context that produced it
 // (a 1-core container and a 32-core sweep box tell opposite stories
 // about the channel-tick worker pool).
 //
+// With no arguments it reads one bench run from stdin; with file
+// arguments it merges several runs (e.g. the parallel-ticking grid and
+// the scheduler grid) into a single host-stamped report, in argument
+// order.
+//
 // For every benchmark pair named .../serial-<k> and .../parallel-<k> it
-// also derives speedup_<k> = serial ns/op ÷ parallel ns/op, which is the
-// headline number EXPERIMENTS.md's parallel-ticking section and the CI
-// bench artifact track.
+// derives speedup_<k> = serial ns/op ÷ parallel ns/op — the headline
+// number EXPERIMENTS.md's parallel-ticking section tracks. Pairs named
+// .../scan-<k> and .../incr-<k> (the memory-controller scheduler grid:
+// seed full-queue scan vs incremental ready-sets) likewise derive
+// speedup_<k> = scan ÷ incr.
 //
 // Usage:
 //
 //	go test -bench ParallelTicking -benchtime 2x -run '^$' . | go run ./cmd/benchjson > BENCH_parallel.json
+//	go run ./cmd/benchjson par.txt sched.txt > BENCH.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"flag"
+	"io"
 	"log"
 	"os"
 	"regexp"
@@ -64,7 +73,35 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Note:       *note,
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	if files := flag.Args(); len(files) > 0 {
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, parseBench(f)...)
+			f.Close()
+		}
+	} else {
+		rep.Benchmarks = parseBench(os.Stdin)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines in input (run `go test -bench ...` and pipe or pass its output)")
+	}
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBench extracts benchmark result lines from one `go test -bench`
+// output stream.
+func parseBench(r io.Reader) []Benchmark {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -79,7 +116,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("ns/op %q: %v", m[3], err)
 		}
-		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+		out = append(out, Benchmark{
 			Name:       m[1],
 			Iterations: iters,
 			NsPerOp:    ns,
@@ -89,16 +126,7 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if len(rep.Benchmarks) == 0 {
-		log.Fatal("no benchmark result lines on stdin (run `go test -bench ...` and pipe its output here)")
-	}
-	rep.Speedups = deriveSpeedups(rep.Benchmarks)
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		log.Fatal(err)
-	}
+	return out
 }
 
 // parseMetrics reads the "value unit" pairs go test appends after ns/op
@@ -122,12 +150,15 @@ func parseMetrics(rest string) map[string]float64 {
 	return metrics
 }
 
-// deriveSpeedups pairs .../serial-<key> with .../parallel-<key> results
+// deriveSpeedups pairs baseline with optimised results that share a key
 // (the -<procs> suffix go test appends is ignored) and reports
-// serial÷parallel time ratios — above 1.0 the worker pool won.
+// baseline÷optimised time ratios — above 1.0 the optimisation won. Two
+// pairings exist: .../serial-<k> vs .../parallel-<k> (channel-tick worker
+// pool) and .../scan-<k> vs .../incr-<k> (full-queue-scan vs incremental
+// ready-set scheduler).
 func deriveSpeedups(benchmarks []Benchmark) map[string]float64 {
-	serial := make(map[string]float64)
-	parallel := make(map[string]float64)
+	baseline := make(map[string]float64)
+	optimised := make(map[string]float64)
 	for _, b := range benchmarks {
 		name := b.Name
 		if i := strings.LastIndex(name, "-"); i >= 0 {
@@ -138,14 +169,18 @@ func deriveSpeedups(benchmarks []Benchmark) map[string]float64 {
 		leaf := name[strings.LastIndex(name, "/")+1:]
 		switch {
 		case strings.HasPrefix(leaf, "serial-"):
-			serial[strings.TrimPrefix(leaf, "serial-")] = b.NsPerOp
+			baseline[strings.TrimPrefix(leaf, "serial-")] = b.NsPerOp
 		case strings.HasPrefix(leaf, "parallel-"):
-			parallel[strings.TrimPrefix(leaf, "parallel-")] = b.NsPerOp
+			optimised[strings.TrimPrefix(leaf, "parallel-")] = b.NsPerOp
+		case strings.HasPrefix(leaf, "scan-"):
+			baseline[strings.TrimPrefix(leaf, "scan-")] = b.NsPerOp
+		case strings.HasPrefix(leaf, "incr-"):
+			optimised[strings.TrimPrefix(leaf, "incr-")] = b.NsPerOp
 		}
 	}
 	speedups := make(map[string]float64)
-	for key, s := range serial {
-		if p, ok := parallel[key]; ok && p > 0 {
+	for key, s := range baseline {
+		if p, ok := optimised[key]; ok && p > 0 {
 			speedups["speedup_"+key] = s / p
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"breakhammer"
+	"breakhammer/internal/prof"
 	"breakhammer/internal/results"
 	"breakhammer/internal/trace"
 )
@@ -52,8 +53,20 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-thread detail")
 		cacheDir   = flag.String("cache-dir", "", "persist the result to this directory; identical reruns replay it")
 		jsonOut    = flag.Bool("json", false, "print the full result record as JSON")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := breakhammer.FastConfig()
 	if *paper {

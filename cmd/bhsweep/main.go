@@ -33,6 +33,7 @@ import (
 
 	"breakhammer"
 	"breakhammer/internal/exp"
+	"breakhammer/internal/prof"
 	"breakhammer/internal/results"
 	"breakhammer/internal/trace"
 )
@@ -61,8 +62,20 @@ func main() {
 		compact  = flag.Bool("compact", false, "with -cache-dir: compact the store's shards (drop superseded records) and exit")
 
 		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 	if *csvOut && *jsonOut {
 		log.Fatal("-csv and -json are mutually exclusive")
 	}

@@ -1,0 +1,109 @@
+package memctrl
+
+// This file holds the allocation-free storage backing the controller's
+// request path: a free-list arena for Request objects, a growable ring
+// buffer for pending read responses, and a head-indexed FIFO for
+// preventive actions. Together they remove every steady-state heap
+// allocation from the enqueue → schedule → complete cycle; the only
+// allocations left happen while the structures warm up to the workload's
+// high-water mark.
+
+// reqArena recycles Request objects through a free-list stack. get
+// returns a zeroed Request (freshly allocated only when the free list is
+// empty); put returns one for reuse. The controller releases a request
+// exactly once: writes at column completion, reads when their response is
+// delivered.
+type reqArena struct {
+	free []*Request
+}
+
+func (a *reqArena) get() *Request {
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free = a.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+func (a *reqArena) put(r *Request) {
+	a.free = append(a.free, r)
+}
+
+// respRing is a growable power-of-two ring buffer of pending read
+// responses. Responses are pushed in DataAt order (the data bus is FIFO)
+// and popped from the front, replacing the seed tree's responses[1:]
+// slice-shift which re-sliced (and eventually re-allocated) the backing
+// array on every delivery.
+type respRing struct {
+	buf  []response
+	head int
+	n    int
+}
+
+func newRespRing(capHint int) respRing {
+	c := 8
+	for c < capHint {
+		c <<= 1
+	}
+	return respRing{buf: make([]response, c)}
+}
+
+func (r *respRing) len() int { return r.n }
+
+func (r *respRing) front() *response { return &r.buf[r.head] }
+
+func (r *respRing) push(v response) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *respRing) pop() response {
+	v := r.buf[r.head]
+	r.buf[r.head] = response{} // drop the *Request so the arena owns it alone
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *respRing) grow() {
+	nb := make([]response, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// prevFIFO queues one bank's preventive actions. Pops advance a head
+// index instead of re-slicing; the backing array is rewound once the
+// queue drains, so a bank that receives preventive actions in bursts
+// reuses the same storage forever.
+type prevFIFO struct {
+	acts []prevAction
+	head int
+}
+
+func (f *prevFIFO) len() int { return len(f.acts) - f.head }
+
+func (f *prevFIFO) push(a prevAction) {
+	if f.head > 0 && f.head == len(f.acts) {
+		f.acts = f.acts[:0]
+		f.head = 0
+	}
+	f.acts = append(f.acts, a)
+}
+
+func (f *prevFIFO) peek() prevAction { return f.acts[f.head] }
+
+func (f *prevFIFO) pop() {
+	f.head++
+	if f.head == len(f.acts) {
+		f.acts = f.acts[:0]
+		f.head = 0
+	}
+}

@@ -1,0 +1,143 @@
+package memctrl
+
+import (
+	"fmt"
+	"testing"
+
+	"breakhammer/internal/dram"
+)
+
+// BenchmarkScheduler measures one controller tick under sustained load
+// across a grid of queue depth × row locality × mechanism, for both the
+// seed full-scan scheduler (scan-*, the frozen oracle in
+// refsched_test.go) and the incremental ready-set scheduler (incr-*).
+// cmd/benchjson pairs scan-<k>/incr-<k> leaves into speedup_<k> entries;
+// BENCH_sched.json in the repo root records the committed result. Run
+// with -benchmem: the incr cases document the allocation-free request
+// path (0 allocs/op in steady state).
+
+// benchRNG is a tiny xorshift64 generator: deterministic, inlinable, and
+// allocation-free so it never pollutes the allocs/op measurement.
+type benchRNG uint64
+
+func (r *benchRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = benchRNG(x)
+	return x
+}
+
+// benchSchedIface is the surface shared by Controller and refController
+// that the benchmark driver needs.
+type benchSchedIface interface {
+	EnqueueReadAddr(line uint64, thread int, addr dram.Addr) bool
+	EnqueueWriteAddr(line uint64, thread int, addr dram.Addr) bool
+	SetFillFunc(func(line uint64))
+	SetActGate(g ActGate)
+	Tick(now int64) bool
+}
+
+type benchSchedProfile struct {
+	locality string // "attack": random rows over few banks; "stream": row-sequential
+	depth    string // "deep": 64-entry queues; "shallow": 8-entry queues
+	mech     string // "plain": no gate; "gated": ActGate evaluating every ACT
+}
+
+func (p benchSchedProfile) config() Config {
+	if p.depth == "shallow" {
+		return Config{ReadQueue: 8, WriteQueue: 8, WriteHi: 6, WriteLo: 2, Cap: 4}
+	}
+	return DefaultConfig()
+}
+
+// benchSchedGate transiently vetoes roughly a quarter of activations,
+// keyed on (bank,row) and the current time window so no row is blocked
+// forever. Pure function: scan and incr observe identical verdicts.
+func benchSchedGate(bank, row, thread int, now int64) bool {
+	h := uint64(row)*0x9E3779B97F4A7C15 + uint64(bank)
+	return (h>>7+uint64(now>>8))&3 != 0
+}
+
+// benchSchedStep enqueues up to two requests (one in four a write) and
+// ticks the controller once. The request stream is a pure function of
+// (rng, step), so every implementation under the same profile replays the
+// same workload.
+func benchSchedStep(ctl benchSchedIface, p *benchSchedProfile, rng *benchRNG, cycle int64) {
+	for k := 0; k < 2; k++ {
+		v := rng.next()
+		var addr dram.Addr
+		if p.locality == "attack" {
+			// 8 banks, 64 distinct rows: conflict-heavy, exercises the
+			// cap logic and the oldest-conflict bookkeeping.
+			addr = dram.Addr{
+				Bank: int(v&7) * 2,
+				Row:  int((v>>8)&63) * 37,
+				Col:  int((v >> 16) & 127),
+			}
+		} else {
+			// Row-sequential sweep: long row-hit streaks per bank.
+			seq := v >> 3
+			addr = dram.Addr{
+				Bank: int(v & 7),
+				Row:  int(seq/128) & 1023,
+				Col:  int(seq & 127),
+			}
+		}
+		line := v >> 24
+		if v&0x300 == 0x300 { // one in four: writeback traffic
+			ctl.EnqueueWriteAddr(line, -1, addr)
+		} else {
+			ctl.EnqueueReadAddr(line, int(v>>60)&3, addr)
+		}
+	}
+	ctl.Tick(cycle)
+}
+
+func benchScheduler(b *testing.B, p benchSchedProfile, useRef bool) {
+	dev, err := dram.NewDevice(dram.Default(), dram.DDR5())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctl benchSchedIface
+	if useRef {
+		ctl = newRefController(p.config(), dev, 4)
+	} else {
+		ctl = New(p.config(), dev, 4)
+	}
+	var fills uint64
+	ctl.SetFillFunc(func(line uint64) { fills += line })
+	if p.mech == "gated" {
+		ctl.SetActGate(benchSchedGate)
+	}
+	rng := benchRNG(0x5eed + 1)
+	// Warm up past the arena/ring/queue high-water marks so the timed
+	// region measures the steady state.
+	var cycle int64
+	for ; cycle < 20_000; cycle++ {
+		benchSchedStep(ctl, &p, &rng, cycle)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSchedStep(ctl, &p, &rng, cycle)
+		cycle++
+	}
+	if fills == 42 {
+		b.Log(fills) // keep the fill path observable
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	for _, locality := range []string{"attack", "stream"} {
+		for _, depth := range []string{"deep", "shallow"} {
+			for _, mech := range []string{"plain", "gated"} {
+				p := benchSchedProfile{locality: locality, depth: depth, mech: mech}
+				key := fmt.Sprintf("%s-%s-%s", locality, depth, mech)
+				b.Run("scan-"+key, func(b *testing.B) { benchScheduler(b, p, true) })
+				b.Run("incr-"+key, func(b *testing.B) { benchScheduler(b, p, false) })
+			}
+		}
+	}
+}

@@ -17,7 +17,10 @@ func DefaultConfig() Config {
 	return Config{ReadQueue: 64, WriteQueue: 64, WriteHi: 48, WriteLo: 16, Cap: 4}
 }
 
-// Request is one in-flight memory request.
+// Request is one in-flight memory request. Requests are recycled through
+// the controller's arena: a *Request is owned by the controller from
+// enqueue until its completion callback has fired, and must not be
+// retained by callbacks.
 type Request struct {
 	Line   uint64
 	Thread int // hardware thread; -1 for system traffic (writebacks)
@@ -25,7 +28,8 @@ type Request struct {
 	Arrive int64
 	Addr   dram.Addr
 
-	opened bool // this request triggered the row activation itself
+	seq    uint64 // global arrival order; FR-FCFS ties break on this
+	opened bool   // this request triggered the row activation itself
 }
 
 // ActivateHook observes every demand row activation. Mitigation mechanisms
@@ -101,34 +105,47 @@ type response struct {
 
 // Controller owns one channel: it schedules DRAM commands for demand
 // requests, periodic refresh, and mitigation-requested preventive actions.
+// Demand requests live in per-bank ready-sets (see readyset.go) and all
+// per-request storage is recycled (see arena.go), so the steady-state
+// enqueue → schedule → complete path performs no heap allocation.
 type Controller struct {
 	cfg    Config
 	dev    *dram.Device
 	mapper AddressMapper
 
-	readQ  []*Request
-	writeQ []*Request
+	readQ  readyQueue
+	writeQ readyQueue
+	arena  reqArena
+	seq    uint64 // next arrival sequence number
 
-	responses []response // FIFO: read data arrivals are monotonic in time
+	responses respRing // FIFO: read data arrivals are monotonic in time
 	fill      func(line uint64)
 	latency   LatencySink
 	events    *EventBuffer // non-nil: defer fill/latency/hook calls (see events.go)
 
-	hooks   []ActivateHook
-	actGate ActGate
+	// Activate observers, split so the common zero- and one-hook
+	// configurations dispatch without ranging over a slice.
+	hook0     ActivateHook
+	hooksRest []ActivateHook
+	actGate   ActGate
 
 	// Refresh state, per rank.
 	nextRef    []int64
 	refPending []bool
 
 	// Preventive actions, per global bank.
-	prevQ       [][]prevAction
+	prevQ       []prevFIFO
 	prevPending int
 
 	backoffUntil int64 // channel-wide ACT pause (PRAC alert back-off)
 
 	draining bool
 	capCount []int // per-bank consecutive column-over-row reorders
+
+	// Reusable candidate scratch for schedule(); see readyset.go.
+	colCands  []colCand
+	prepCands []prepCand
+	walkers   []gateWalker
 
 	now   int64 // current cycle, updated by Tick
 	stats Stats
@@ -143,10 +160,16 @@ func New(cfg Config, dev *dram.Device, threads int) *Controller {
 		cfg:          cfg,
 		dev:          dev,
 		mapper:       NewMOPMapper(dev.Config()),
+		readQ:        newReadyQueue(banks),
+		writeQ:       newReadyQueue(banks),
+		responses:    newRespRing(cfg.ReadQueue),
 		nextRef:      make([]int64, ranks),
 		refPending:   make([]bool, ranks),
-		prevQ:        make([][]prevAction, banks),
+		prevQ:        make([]prevFIFO, banks),
 		capCount:     make([]int, banks),
+		colCands:     make([]colCand, 0, banks),
+		prepCands:    make([]prepCand, 0, banks),
+		walkers:      make([]gateWalker, 0, banks),
 		backoffUntil: -1,
 	}
 	t := dev.Timing()
@@ -169,7 +192,7 @@ func (c *Controller) SetFillFunc(f func(line uint64)) { c.fill = f }
 // SetMapper replaces the address mapper (default: MOP). It must be called
 // before any request is enqueued.
 func (c *Controller) SetMapper(m AddressMapper) {
-	if len(c.readQ) > 0 || len(c.writeQ) > 0 {
+	if c.readQ.count > 0 || c.writeQ.count > 0 {
 		panic("memctrl: SetMapper after requests were enqueued")
 	}
 	c.mapper = m
@@ -179,7 +202,24 @@ func (c *Controller) SetMapper(m AddressMapper) {
 func (c *Controller) SetLatencySink(s LatencySink) { c.latency = s }
 
 // AddActivateHook registers an observer of demand activations.
-func (c *Controller) AddActivateHook(h ActivateHook) { c.hooks = append(c.hooks, h) }
+func (c *Controller) AddActivateHook(h ActivateHook) {
+	if c.hook0 == nil {
+		c.hook0 = h
+		return
+	}
+	c.hooksRest = append(c.hooksRest, h)
+}
+
+// fireActivate dispatches a demand activation to the registered hooks.
+func (c *Controller) fireActivate(bank, row, thread int, now int64) {
+	if c.hook0 == nil {
+		return
+	}
+	c.hook0(bank, row, thread, now)
+	for _, h := range c.hooksRest {
+		h(bank, row, thread, now)
+	}
+}
 
 // SetActGate installs an activation veto (BlockHammer).
 func (c *Controller) SetActGate(g ActGate) { c.actGate = g }
@@ -194,7 +234,7 @@ func (c *Controller) Device() *dram.Device { return c.dev }
 func (c *Controller) Mapper() AddressMapper { return c.mapper }
 
 // QueueOccupancy reports (reads, writes) currently queued.
-func (c *Controller) QueueOccupancy() (int, int) { return len(c.readQ), len(c.writeQ) }
+func (c *Controller) QueueOccupancy() (int, int) { return c.readQ.count, c.writeQ.count }
 
 // EnqueueRead implements cache.Backend. It returns false when the read
 // queue is full.
@@ -211,23 +251,27 @@ func (c *Controller) EnqueueWrite(line uint64, thread int) bool {
 // EnqueueReadAddr enqueues a read whose DRAM location was already decoded
 // (the memsys layer maps once at the system level and routes by channel).
 func (c *Controller) EnqueueReadAddr(line uint64, thread int, addr dram.Addr) bool {
-	if len(c.readQ) >= c.cfg.ReadQueue {
+	if c.readQ.count >= c.cfg.ReadQueue {
 		return false
 	}
-	c.readQ = append(c.readQ, &Request{
-		Line: line, Thread: thread, Arrive: c.now, Addr: addr,
-	})
+	r := c.arena.get()
+	r.Line, r.Thread, r.Arrive, r.Addr = line, thread, c.now, addr
+	r.seq = c.seq
+	c.seq++
+	c.readQ.push(addr.Bank, r)
 	return true
 }
 
 // EnqueueWriteAddr enqueues a pre-decoded write.
 func (c *Controller) EnqueueWriteAddr(line uint64, thread int, addr dram.Addr) bool {
-	if len(c.writeQ) >= c.cfg.WriteQueue {
+	if c.writeQ.count >= c.cfg.WriteQueue {
 		return false
 	}
-	c.writeQ = append(c.writeQ, &Request{
-		Line: line, Thread: thread, Write: true, Arrive: c.now, Addr: addr,
-	})
+	r := c.arena.get()
+	r.Line, r.Thread, r.Write, r.Arrive, r.Addr = line, thread, true, c.now, addr
+	r.seq = c.seq
+	c.seq++
+	c.writeQ.push(addr.Bank, r)
 	return true
 }
 
@@ -236,27 +280,33 @@ func (c *Controller) EnqueueWriteAddr(line uint64, thread int, addr dram.Addr) b
 // RequestVRR queues targeted victim-row refreshes on a bank.
 func (c *Controller) RequestVRR(bank int, rows []int) {
 	for _, r := range rows {
-		c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdVRR, row: r})
+		c.prevQ[bank].push(prevAction{cmd: dram.CmdVRR, row: r})
 		c.prevPending++
 	}
 }
 
 // RequestRFM queues one refresh-management command on a bank.
 func (c *Controller) RequestRFM(bank int) {
-	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdRFM})
+	c.prevQ[bank].push(prevAction{cmd: dram.CmdRFM})
 	c.prevPending++
 }
 
 // RequestAux queues one auxiliary metadata access (Hydra's in-DRAM
 // row-count table reads/writebacks) on a bank.
 func (c *Controller) RequestAux(bank int) {
-	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdAUX})
+	c.prevQ[bank].push(prevAction{cmd: dram.CmdAUX})
 	c.prevPending++
 }
 
-// RequestMigration queues an AQUA row migration on a bank.
+// RequestMigration queues an AQUA row migration on a bank. The single
+// CmdMIG models the whole swap — reading srcRow and re-activating and
+// writing the destination — because AQUA's quarantine region lives in the
+// same bank (see internal/mitigation/aqua.go): the device blocks the bank
+// for 2*tRC plus a full row's column transfers, which covers both row
+// cycles. dstRow therefore selects the quarantine slot but adds no
+// separate command; TestMigrationCommandCounts pins this contract.
 func (c *Controller) RequestMigration(bank, srcRow, dstRow int) {
-	c.prevQ[bank] = append(c.prevQ[bank], prevAction{cmd: dram.CmdMIG, row: srcRow})
+	c.prevQ[bank].push(prevAction{cmd: dram.CmdMIG, row: srcRow})
 	c.prevPending++
 }
 
@@ -304,15 +354,15 @@ func (c *Controller) Tick(nowCycle int64) bool {
 
 func (c *Controller) deliverResponses() bool {
 	delivered := false
-	for len(c.responses) > 0 && c.responses[0].at <= c.now {
+	for c.responses.len() > 0 && c.responses.front().at <= c.now {
 		delivered = true
-		r := c.responses[0]
-		c.responses = c.responses[1:]
+		r := c.responses.pop()
 		c.stats.ReadsDone[r.req.Thread]++
 		if c.events != nil {
 			c.events.events = append(c.events.events,
 				Event{Kind: EventLatency, Thread: r.req.Thread, Cycles: r.at - r.req.Arrive},
 				Event{Kind: EventFill, Line: r.req.Line})
+			c.arena.put(r.req)
 			continue
 		}
 		if c.latency != nil {
@@ -321,6 +371,7 @@ func (c *Controller) deliverResponses() bool {
 		if c.fill != nil {
 			c.fill(r.req.Line)
 		}
+		c.arena.put(r.req)
 	}
 	return delivered
 }
@@ -366,7 +417,7 @@ func (c *Controller) tryPreventive() bool {
 		return false
 	}
 	for bank := range c.prevQ {
-		if len(c.prevQ[bank]) == 0 {
+		if c.prevQ[bank].len() == 0 {
 			continue
 		}
 		if c.dev.BankBlockedUntil(bank) > c.now {
@@ -380,13 +431,13 @@ func (c *Controller) tryPreventive() bool {
 			}
 			continue
 		}
-		act := c.prevQ[bank][0]
+		act := c.prevQ[bank].peek()
 		addr := dram.Addr{Bank: bank, Row: act.row}
 		if !c.dev.CanIssue(act.cmd, addr, c.now) {
 			continue
 		}
 		c.dev.Issue(act.cmd, addr, c.now)
-		c.prevQ[bank] = c.prevQ[bank][1:]
+		c.prevQ[bank].pop()
 		c.prevPending--
 		switch act.cmd {
 		case dram.CmdVRR:
@@ -407,109 +458,21 @@ func (c *Controller) tryPreventive() bool {
 // a command issued.
 func (c *Controller) tryDemand() bool {
 	// Write-drain hysteresis.
-	if len(c.writeQ) >= c.cfg.WriteHi {
+	if c.writeQ.count >= c.cfg.WriteHi {
 		c.draining = true
 	}
-	if len(c.writeQ) <= c.cfg.WriteLo {
+	if c.writeQ.count <= c.cfg.WriteLo {
 		c.draining = false
 	}
-	queue := &c.readQ
-	if c.draining || len(c.readQ) == 0 {
-		if len(c.writeQ) > 0 {
-			queue = &c.writeQ
-		} else if len(c.readQ) == 0 {
+	q := &c.readQ
+	if c.draining || c.readQ.count == 0 {
+		if c.writeQ.count > 0 {
+			q = &c.writeQ
+		} else if c.readQ.count == 0 {
 			return false
 		}
 	}
-	return c.schedule(queue)
-}
-
-// schedule implements FR-FCFS with a cap on column-over-row reordering:
-// a row-hit request may bypass at most Cap older row-conflict requests to
-// the same bank before the oldest conflicting request is served first.
-// Returns true if a command issued.
-func (c *Controller) schedule(queue *[]*Request) bool {
-	q := *queue
-
-	// First pass: oldest issuable row-hit column command, respecting Cap.
-	for i, req := range q {
-		row, open := c.dev.OpenRow(req.Addr.Bank)
-		if !open || row != req.Addr.Row {
-			continue
-		}
-		if c.hasOlderConflict(q, i) && c.capCount[req.Addr.Bank] >= c.cfg.Cap {
-			continue // cap reached: stop preferring hits on this bank
-		}
-		cmd := dram.CmdRD
-		if req.Write {
-			cmd = dram.CmdWR
-		}
-		if !c.dev.CanIssue(cmd, req.Addr, c.now) {
-			continue
-		}
-		res := c.dev.Issue(cmd, req.Addr, c.now)
-		if req.Thread >= 0 && !req.opened {
-			c.stats.RowHits[req.Thread]++
-		}
-		if c.hasOlderConflict(q, i) {
-			c.capCount[req.Addr.Bank]++
-		}
-		c.completeColumn(req, res)
-		*queue = append(q[:i], q[i+1:]...)
-		return true
-	}
-
-	// Second pass: oldest request's required preparation command.
-	for _, req := range q {
-		bank := req.Addr.Bank
-		if c.dev.BankBlockedUntil(bank) > c.now {
-			continue
-		}
-		if c.bankHasPreventive(bank) || c.rankRefreshPending(bank) {
-			continue // let higher-priority work own the bank
-		}
-		row, open := c.dev.OpenRow(bank)
-		if open && row == req.Addr.Row {
-			continue // a hit already considered in pass 1 (cap/timing held it)
-		}
-		if open {
-			pre := dram.Addr{Bank: bank}
-			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
-				c.dev.Issue(dram.CmdPRE, pre, c.now)
-				c.capCount[bank] = 0
-				return true
-			}
-			continue
-		}
-		// Bank precharged: activate the row (subject to gates and back-off).
-		if c.now < c.backoffUntil {
-			continue
-		}
-		if c.actGate != nil && !c.actGate(bank, req.Addr.Row, req.Thread, c.now) {
-			c.stats.GatedACTs++
-			continue
-		}
-		if !c.dev.CanIssue(dram.CmdACT, req.Addr, c.now) {
-			continue
-		}
-		c.dev.Issue(dram.CmdACT, req.Addr, c.now)
-		req.opened = true
-		c.capCount[bank] = 0
-		c.stats.TotalACTs++
-		if req.Thread >= 0 {
-			c.stats.DemandACTs[req.Thread]++
-		}
-		if c.events != nil {
-			c.events.events = append(c.events.events,
-				Event{Kind: EventActivate, Bank: bank, Row: req.Addr.Row, Thread: req.Thread, At: c.now})
-		} else {
-			for _, h := range c.hooks {
-				h(bank, req.Addr.Row, req.Thread, c.now)
-			}
-		}
-		return true
-	}
-	return false
+	return c.schedule(q)
 }
 
 // NextWake returns a sound lower bound on the next cycle at which this
@@ -525,10 +488,10 @@ func (c *Controller) NextWake(now int64) int64 {
 			next = ts
 		}
 	}
-	if len(c.responses) > 0 {
-		take(c.responses[0].at)
+	if c.responses.len() > 0 {
+		take(c.responses.front().at)
 	}
-	busy := len(c.readQ) > 0 || len(c.writeQ) > 0 || c.prevPending > 0
+	busy := c.readQ.count > 0 || c.writeQ.count > 0 || c.prevPending > 0
 	for r := range c.nextRef {
 		if c.refPending[r] {
 			// Actively clearing the rank for REF: blocked purely by device
@@ -546,29 +509,12 @@ func (c *Controller) NextWake(now int64) int64 {
 }
 
 // completeColumn finalizes a column command: reads schedule a response,
-// writes complete immediately.
+// writes complete immediately (and release their request to the arena).
 func (c *Controller) completeColumn(req *Request, res dram.IssueResult) {
 	if req.Write {
 		c.stats.WritesDone++
+		c.arena.put(req)
 		return
 	}
-	c.responses = append(c.responses, response{at: res.DataAt, req: req})
-}
-
-func (c *Controller) hasOlderConflict(q []*Request, i int) bool {
-	bank := q[i].Addr.Bank
-	for j := 0; j < i; j++ {
-		if q[j].Addr.Bank == bank && q[j].Addr.Row != q[i].Addr.Row {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *Controller) bankHasPreventive(bank int) bool {
-	return len(c.prevQ[bank]) > 0
-}
-
-func (c *Controller) rankRefreshPending(bank int) bool {
-	return c.refPending[c.dev.RankOf(bank)]
+	c.responses.push(response{at: res.DataAt, req: req})
 }

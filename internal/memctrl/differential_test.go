@@ -1,0 +1,318 @@
+package memctrl
+
+// Differential tests: the production Controller and the frozen seed
+// scheduler in refsched_test.go run side by side on identical devices,
+// fed identical request/preventive/backoff streams, and must produce
+// byte-identical command streams, callback sequences and stats. This is
+// the guardrail that lets the ready-set scheduler replace the full-queue
+// scan without forking any cached result (results.SchemaVersion stays
+// put): FR-FCFS+Cap ordering, write-drain hysteresis, preventive and
+// refresh priority, gate evaluation order and every counter are all
+// observable here.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"breakhammer/internal/dram"
+)
+
+// issueRec is one issued DRAM command, as observed by the device hook.
+type issueRec struct {
+	cmd  dram.Command
+	bank int
+	row  int
+	col  int
+	at   int64
+}
+
+// sideEffects records every externally observable callback.
+type sideEffects struct {
+	issues  []issueRec
+	fills   []uint64
+	lats    []string
+	gates   []string
+	rejects int // enqueue rejections (full queue)
+}
+
+func recordDevice(t *testing.T, dev *dram.Device, se *sideEffects) {
+	t.Helper()
+	dev.SetIssueHook(func(cmd dram.Command, addr dram.Addr, now int64) {
+		se.issues = append(se.issues, issueRec{cmd: cmd, bank: addr.Bank, row: addr.Row, col: addr.Col, at: now})
+	})
+}
+
+// diffProfile shapes the synthetic request stream.
+type diffProfile struct {
+	name     string
+	banks    int     // distinct banks touched
+	rows     int     // distinct rows per bank (1 = pure locality, many = conflicts)
+	readProb float64 // fraction of enqueues that are reads
+	enqProb  float64 // per-cycle enqueue probability
+	prevProb float64 // per-cycle preventive-request probability
+	backoff  bool    // occasionally request PRAC back-off
+	gate     bool    // install a (deterministic, stateful) ActGate
+	cycles   int64
+	burst    int // enqueue attempts per enqueue event (drives queues full)
+}
+
+func diffProfiles() []diffProfile {
+	return []diffProfile{
+		{name: "attack-conflicts", banks: 4, rows: 8, readProb: 0.8, enqProb: 0.9, prevProb: 0.02, cycles: 60_000, burst: 4},
+		{name: "row-locality", banks: 6, rows: 1, readProb: 0.9, enqProb: 0.7, prevProb: 0.0, cycles: 40_000, burst: 2},
+		{name: "write-heavy-hysteresis", banks: 4, rows: 4, readProb: 0.15, enqProb: 0.95, prevProb: 0.0, cycles: 60_000, burst: 6},
+		{name: "preventive-storm", banks: 3, rows: 6, readProb: 0.8, enqProb: 0.5, prevProb: 0.3, cycles: 40_000, burst: 2},
+		{name: "backoff", banks: 4, rows: 6, readProb: 0.8, enqProb: 0.6, prevProb: 0.05, backoff: true, cycles: 40_000, burst: 2},
+		{name: "gated", banks: 4, rows: 6, readProb: 0.85, enqProb: 0.8, prevProb: 0.02, gate: true, cycles: 60_000, burst: 3},
+		{name: "gated-backoff-mix", banks: 5, rows: 5, readProb: 0.6, enqProb: 0.85, prevProb: 0.08, gate: true, backoff: true, cycles: 60_000, burst: 4},
+	}
+}
+
+// gateFn builds a deterministic, stateful gate: it blocks a (bank,row)
+// pair for a fixed window after each allowed activation, the shape of
+// BlockHammer's delay, and records every evaluation so the differential
+// test also pins gate call order and count (the gate mutates state, so
+// evaluation order is part of the contract).
+func gateFn(se *sideEffects) ActGate {
+	lastACT := map[int]int64{}
+	return func(bank, row, thread int, now int64) bool {
+		se.gates = append(se.gates, fmt.Sprintf("%d/%d/%d@%d", bank, row, thread, now))
+		key := bank<<20 | row
+		if last, ok := lastACT[key]; ok && now-last < 200 && row%3 == 0 {
+			return false
+		}
+		lastACT[key] = now
+		return true
+	}
+}
+
+// diffHarness drives one controller implementation through a profile.
+type diffHarness struct {
+	enqueueRead  func(line uint64, thread int, addr dram.Addr) bool
+	enqueueWrite func(line uint64, thread int, addr dram.Addr) bool
+	requestVRR   func(bank int, rows []int)
+	requestRFM   func(bank int)
+	requestAux   func(bank int)
+	requestMig   func(bank, src, dst int)
+	backoff      func(bank, nRFM int)
+	tick         func(now int64) bool
+	stats        func() *Stats
+	occupancy    func() (int, int)
+	pending      func() int
+}
+
+func runDiffProfile(t *testing.T, p diffProfile, seed int64, h *diffHarness, se *sideEffects) []bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var progress []bool
+	line := uint64(1)
+	for cycle := int64(0); cycle < p.cycles; cycle++ {
+		if rng.Float64() < p.enqProb {
+			for b := 0; b < p.burst; b++ {
+				bank := rng.Intn(p.banks) * 2 // spread across bank groups
+				row := rng.Intn(p.rows) * 37
+				col := rng.Intn(8)
+				addr := dram.Addr{Bank: bank, Row: row, Col: col}
+				thread := rng.Intn(4)
+				ok := false
+				if rng.Float64() < p.readProb {
+					ok = h.enqueueRead(line, thread, addr)
+				} else {
+					ok = h.enqueueWrite(line, -1, addr)
+				}
+				if !ok {
+					se.rejects++
+				}
+				line++
+			}
+		}
+		if p.prevProb > 0 && rng.Float64() < p.prevProb {
+			bank := rng.Intn(p.banks) * 2
+			switch rng.Intn(4) {
+			case 0:
+				h.requestVRR(bank, []int{rng.Intn(64), rng.Intn(64)})
+			case 1:
+				h.requestRFM(bank)
+			case 2:
+				h.requestAux(bank)
+			case 3:
+				h.requestMig(bank, rng.Intn(64), 1024+rng.Intn(64))
+			}
+		}
+		if p.backoff && rng.Intn(4096) == 0 {
+			h.backoff(rng.Intn(p.banks)*2, 1+rng.Intn(3))
+		}
+		progress = append(progress, h.tick(cycle))
+	}
+	return progress
+}
+
+func prodHarness(c *Controller) *diffHarness {
+	return &diffHarness{
+		enqueueRead:  c.EnqueueReadAddr,
+		enqueueWrite: c.EnqueueWriteAddr,
+		requestVRR:   c.RequestVRR,
+		requestRFM:   c.RequestRFM,
+		requestAux:   c.RequestAux,
+		requestMig:   c.RequestMigration,
+		backoff:      c.RequestBackoff,
+		tick:         c.Tick,
+		stats:        c.Stats,
+		occupancy:    c.QueueOccupancy,
+		pending:      c.PendingPreventive,
+	}
+}
+
+func refHarness(c *refController) *diffHarness {
+	return &diffHarness{
+		enqueueRead:  c.EnqueueReadAddr,
+		enqueueWrite: c.EnqueueWriteAddr,
+		requestVRR:   c.RequestVRR,
+		requestRFM:   c.RequestRFM,
+		requestAux:   c.RequestAux,
+		requestMig:   c.RequestMigration,
+		backoff:      c.RequestBackoff,
+		tick:         c.Tick,
+		stats:        c.Stats,
+		occupancy:    c.QueueOccupancy,
+		pending:      c.PendingPreventive,
+	}
+}
+
+func attachObservers(se *sideEffects, setFill func(func(uint64)), setLat func(LatencySink)) {
+	setFill(func(l uint64) { se.fills = append(se.fills, l) })
+	setLat(func(thread int, cycles int64) {
+		se.lats = append(se.lats, fmt.Sprintf("%d:%d", thread, cycles))
+	})
+}
+
+// TestSchedulerMatchesReference is the byte-identical contract between
+// the incremental ready-set scheduler and the seed full-scan scheduler.
+func TestSchedulerMatchesReference(t *testing.T) {
+	for _, p := range diffProfiles() {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				devA, err := dram.NewDevice(dram.Default(), dram.DDR5())
+				if err != nil {
+					t.Fatal(err)
+				}
+				devB, err := dram.NewDevice(dram.Default(), dram.DDR5())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var seA, seB sideEffects
+				recordDevice(t, devA, &seA)
+				recordDevice(t, devB, &seB)
+
+				prod := New(DefaultConfig(), devA, 4)
+				ref := newRefController(DefaultConfig(), devB, 4)
+				attachObservers(&seA, prod.SetFillFunc, prod.SetLatencySink)
+				attachObservers(&seB, ref.SetFillFunc, ref.SetLatencySink)
+				if p.gate {
+					prod.SetActGate(gateFn(&seA))
+					ref.SetActGate(gateFn(&seB))
+				}
+
+				progA := runDiffProfile(t, p, seed, prodHarness(prod), &seA)
+				progB := runDiffProfile(t, p, seed, refHarness(ref), &seB)
+
+				if !reflect.DeepEqual(progA, progB) {
+					t.Fatalf("seed %d: Tick progress sequences diverge", seed)
+				}
+				if len(seA.issues) != len(seB.issues) {
+					t.Fatalf("seed %d: issued %d commands, reference issued %d", seed, len(seA.issues), len(seB.issues))
+				}
+				for i := range seA.issues {
+					if seA.issues[i] != seB.issues[i] {
+						t.Fatalf("seed %d: command %d diverges: got %+v, reference %+v",
+							seed, i, seA.issues[i], seB.issues[i])
+					}
+				}
+				if !reflect.DeepEqual(seA.fills, seB.fills) {
+					t.Fatalf("seed %d: fill sequences diverge", seed)
+				}
+				if !reflect.DeepEqual(seA.lats, seB.lats) {
+					t.Fatalf("seed %d: latency sequences diverge", seed)
+				}
+				if !reflect.DeepEqual(seA.gates, seB.gates) {
+					t.Fatalf("seed %d: gate evaluation sequences diverge (%d vs %d evals)",
+						seed, len(seA.gates), len(seB.gates))
+				}
+				if seA.rejects != seB.rejects {
+					t.Fatalf("seed %d: enqueue rejections diverge: %d vs %d", seed, seA.rejects, seB.rejects)
+				}
+				if !reflect.DeepEqual(*prod.Stats(), *ref.Stats()) {
+					t.Fatalf("seed %d: stats diverge:\n got %+v\n ref %+v", seed, *prod.Stats(), *ref.Stats())
+				}
+				ra, wa := prod.QueueOccupancy()
+				rb, wb := ref.QueueOccupancy()
+				if ra != rb || wa != wb {
+					t.Fatalf("seed %d: occupancy diverges: (%d,%d) vs (%d,%d)", seed, ra, wa, rb, wb)
+				}
+				if prod.PendingPreventive() != ref.PendingPreventive() {
+					t.Fatalf("seed %d: pending preventive diverges", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerMatchesReferenceEventMode re-runs the hot profile with the
+// production controller in deferred-event mode (one EventBuffer, replayed
+// after every tick, as the memsys cycle batch does) and asserts the
+// replayed callback stream still matches the reference's inline stream.
+func TestSchedulerMatchesReferenceEventMode(t *testing.T) {
+	p := diffProfiles()[0]
+	devA, err := dram.NewDevice(dram.Default(), dram.DDR5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err := dram.NewDevice(dram.Default(), dram.DDR5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seA, seB sideEffects
+	recordDevice(t, devA, &seA)
+	recordDevice(t, devB, &seB)
+
+	prod := New(DefaultConfig(), devA, 4)
+	ref := newRefController(DefaultConfig(), devB, 4)
+	attachObservers(&seA, prod.SetFillFunc, prod.SetLatencySink)
+	attachObservers(&seB, ref.SetFillFunc, ref.SetLatencySink)
+	var acts []string
+	prod.AddActivateHook(func(bank, row, thread int, now int64) {
+		acts = append(acts, fmt.Sprintf("%d/%d/%d@%d", bank, row, thread, now))
+	})
+	var refActs []string
+	ref.AddActivateHook(func(bank, row, thread int, now int64) {
+		refActs = append(refActs, fmt.Sprintf("%d/%d/%d@%d", bank, row, thread, now))
+	})
+
+	buf := &EventBuffer{}
+	prod.SetEventBuffer(buf)
+	h := prodHarness(prod)
+	baseTick := h.tick
+	h.tick = func(now int64) bool {
+		prog := baseTick(now)
+		prod.ReplayEvents()
+		return prog
+	}
+	runDiffProfile(t, p, 7, h, &seA)
+	runDiffProfile(t, p, 7, refHarness(ref), &seB)
+
+	if !reflect.DeepEqual(seA.issues, seB.issues) {
+		t.Fatal("event-mode command streams diverge")
+	}
+	if !reflect.DeepEqual(seA.fills, seB.fills) || !reflect.DeepEqual(seA.lats, seB.lats) {
+		t.Fatal("event-mode callback sequences diverge")
+	}
+	if !reflect.DeepEqual(acts, refActs) {
+		t.Fatal("event-mode activate-hook sequences diverge")
+	}
+	if !reflect.DeepEqual(*prod.Stats(), *ref.Stats()) {
+		t.Fatalf("event-mode stats diverge:\n got %+v\n ref %+v", *prod.Stats(), *ref.Stats())
+	}
+}

@@ -38,6 +38,13 @@ type EventBuffer struct {
 	events []Event
 }
 
+// NewEventBuffer returns a buffer whose backing storage is pre-grown to
+// capHint events, so the first cycle batches never reallocate mid-tick.
+// The buffer still grows past the hint if a tick produces more events.
+func NewEventBuffer(capHint int) *EventBuffer {
+	return &EventBuffer{events: make([]Event, 0, capHint)}
+}
+
 // Len reports the number of buffered events.
 func (b *EventBuffer) Len() int { return len(b.events) }
 
@@ -71,9 +78,7 @@ func (c *Controller) ReplayEvents() {
 				c.fill(ev.Line)
 			}
 		case EventActivate:
-			for _, h := range c.hooks {
-				h(ev.Bank, ev.Row, ev.Thread, ev.At)
-			}
+			c.fireActivate(ev.Bank, ev.Row, ev.Thread, ev.At)
 		}
 	}
 	c.events.events = evs[:0]

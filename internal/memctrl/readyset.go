@@ -1,0 +1,405 @@
+package memctrl
+
+import "breakhammer/internal/dram"
+
+// This file implements the incremental FR-FCFS+Cap ready-sets that
+// replaced the seed tree's full-queue scans (kept verbatim as the oracle
+// in refsched_test.go). The key facts that make per-bank scheduling
+// byte-identical to the global FCFS walk:
+//
+//   - Within one queue every request issues the same column command
+//     (readQ→RD, writeQ→WR) and CanIssue for a column command ignores the
+//     column address, so all row-hits in a bank share one verdict: the
+//     only pass-1 candidate a bank can ever serve is its OLDEST hit, and
+//     a CanIssue failure disqualifies the whole bank for this cycle.
+//   - hasOlderConflict(oldest hit) reduces to confIdx < hitIdx on the
+//     bank's own FCFS list: a global scan only ever compares same-bank
+//     entries.
+//   - CanIssue(ACT) does not depend on the row, and CanIssue(PRE) only on
+//     the bank, so in pass 2 a bank is exhausted after its first failed
+//     attempt — except when an ActGate is installed, where the gate's
+//     side effects (BlockHammer counts every rejection) force a faithful
+//     per-request walk in global arrival order; see scheduleGated.
+//   - Taking the minimum arrival sequence across per-bank candidates
+//     reproduces the global FCFS scan order exactly, because requests
+//     enter the per-bank FIFOs in arrival order.
+
+// bankFIFO holds one bank's share of a request queue in arrival order,
+// with a cached location of the oldest row-hit and oldest row-conflict
+// for the bank's current row state. The cache is validated lazily against
+// dram.Device.OpenRow — any command that opens or closes the row simply
+// makes the next validate recompute — and is patched incrementally on
+// enqueue and removal, so steady-state scheduling never rescans the FIFO.
+type bankFIFO struct {
+	reqs []*Request
+
+	cacheValid bool
+	cacheOpen  bool
+	cacheRow   int
+	hitIdx     int // oldest request to cacheRow; -1 if none (or bank closed)
+	confIdx    int // oldest request to any other row; -1 if none. Bank closed: 0.
+}
+
+// validate refreshes the hit/conflict cache if the bank's row state
+// changed since it was computed.
+func (f *bankFIFO) validate(row int, open bool) {
+	if f.cacheValid && f.cacheOpen == open && (!open || f.cacheRow == row) {
+		return
+	}
+	f.cacheValid, f.cacheOpen, f.cacheRow = true, open, row
+	f.hitIdx = f.scanFrom(0, true)
+	f.confIdx = f.scanFrom(0, false)
+}
+
+// scanFrom finds the first index >= i that is a hit (hit=true) or a
+// conflict (hit=false) under the cached row state; -1 if none. With the
+// bank closed every queued request needs an ACT, so it counts as a
+// conflict and no request is a hit.
+func (f *bankFIFO) scanFrom(i int, hit bool) int {
+	if !f.cacheOpen {
+		if hit || i >= len(f.reqs) {
+			return -1
+		}
+		return i
+	}
+	for ; i < len(f.reqs); i++ {
+		if (f.reqs[i].Addr.Row == f.cacheRow) == hit {
+			return i
+		}
+	}
+	return -1
+}
+
+// push appends a request (arrival order) and patches the cache.
+func (f *bankFIFO) push(r *Request) {
+	i := len(f.reqs)
+	f.reqs = append(f.reqs, r)
+	if !f.cacheValid {
+		return
+	}
+	if f.cacheOpen && r.Addr.Row == f.cacheRow {
+		if f.hitIdx < 0 {
+			f.hitIdx = i
+		}
+	} else if f.confIdx < 0 {
+		f.confIdx = i
+	}
+}
+
+// remove deletes the request at index i and patches the cache: later
+// indices shift down; if the removed request was the cached oldest
+// hit/conflict, the next one is found by scanning forward from i only.
+func (f *bankFIFO) remove(i int) {
+	copy(f.reqs[i:], f.reqs[i+1:])
+	last := len(f.reqs) - 1
+	f.reqs[last] = nil
+	f.reqs = f.reqs[:last]
+	if !f.cacheValid {
+		return
+	}
+	if f.hitIdx > i {
+		f.hitIdx--
+	} else if f.hitIdx == i {
+		f.hitIdx = f.scanFrom(i, true)
+	}
+	if f.confIdx > i {
+		f.confIdx--
+	} else if f.confIdx == i {
+		f.confIdx = f.scanFrom(i, false)
+	}
+}
+
+// readyQueue is one direction's request queue (reads or writes) sharded
+// into per-bank FIFOs, plus a dense set of occupied banks so schedule()
+// visits only banks that actually hold requests.
+type readyQueue struct {
+	banks  []bankFIFO
+	active []int32 // banks with at least one request, unordered
+	pos    []int32 // bank -> index in active; -1 when absent
+	count  int     // total queued requests across banks
+}
+
+func newReadyQueue(nbanks int) readyQueue {
+	pos := make([]int32, nbanks)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return readyQueue{
+		banks:  make([]bankFIFO, nbanks),
+		active: make([]int32, 0, nbanks),
+		pos:    pos,
+	}
+}
+
+func (q *readyQueue) push(bank int, r *Request) {
+	fb := &q.banks[bank]
+	if len(fb.reqs) == 0 {
+		q.pos[bank] = int32(len(q.active))
+		q.active = append(q.active, int32(bank))
+	}
+	fb.push(r)
+	q.count++
+}
+
+func (q *readyQueue) removeAt(bank, i int) {
+	fb := &q.banks[bank]
+	fb.remove(i)
+	q.count--
+	if len(fb.reqs) == 0 {
+		j := q.pos[bank]
+		last := q.active[len(q.active)-1]
+		q.active[j] = last
+		q.pos[last] = j
+		q.active = q.active[:len(q.active)-1]
+		q.pos[bank] = -1
+	}
+}
+
+// colCand is a pass-1 candidate: one bank's oldest issuable row-hit.
+type colCand struct {
+	seq  uint64
+	bank int32
+	idx  int32
+}
+
+// prepCand is a pass-2 candidate (no ActGate installed): an open bank's
+// precharge at its oldest conflict, or a closed bank's activation at its
+// oldest request.
+type prepCand struct {
+	seq  uint64
+	bank int32
+	open bool
+}
+
+// gateWalker is pass-2 state for one bank when an ActGate is installed:
+// closed banks advance request by request so every gate rejection is
+// observed in global arrival order; open banks are a single PRE attempt.
+type gateWalker struct {
+	seq  uint64
+	bank int32
+	idx  int32
+	open bool
+}
+
+// sortColCands and sortPrepCands order candidates by arrival sequence
+// (insertion sort: candidate counts are bounded by the bank count and are
+// tiny in practice, and this keeps the hot path allocation-free).
+func sortColCands(c []colCand) {
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j].seq < c[j-1].seq; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+}
+
+func sortPrepCands(c []prepCand) {
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j].seq < c[j-1].seq; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+}
+
+// schedule implements FR-FCFS with a cap on column-over-row reordering —
+// a row-hit request may bypass at most Cap older row-conflict requests to
+// the same bank before the oldest conflicting request is served first —
+// visiting only occupied banks whose device timing allows a command now.
+// Returns true if a command issued. Command-for-command identical to the
+// seed tree's full-queue scan (see refsched_test.go and the differential
+// tests that pin the equivalence).
+func (c *Controller) schedule(q *readyQueue) bool {
+	// First pass: oldest issuable row-hit column command, respecting Cap.
+	// One candidate per open bank (its oldest hit); banks blocked by
+	// refresh/RFM/VRR/MIG would fail CanIssue and are pruned up front.
+	cands := c.colCands[:0]
+	for _, b := range q.active {
+		bank := int(b)
+		if c.dev.BankBlockedUntil(bank) > c.now {
+			continue
+		}
+		row, open := c.dev.OpenRow(bank)
+		if !open {
+			continue
+		}
+		fb := &q.banks[bank]
+		fb.validate(row, true)
+		h := fb.hitIdx
+		if h < 0 {
+			continue
+		}
+		if f := fb.confIdx; f >= 0 && f < h && c.capCount[bank] >= c.cfg.Cap {
+			continue // cap reached: stop preferring hits on this bank
+		}
+		cands = append(cands, colCand{seq: fb.reqs[h].seq, bank: b, idx: int32(h)})
+	}
+	c.colCands = cands
+	sortColCands(cands)
+	for _, cd := range cands {
+		bank := int(cd.bank)
+		fb := &q.banks[bank]
+		req := fb.reqs[cd.idx]
+		cmd := dram.CmdRD
+		if req.Write {
+			cmd = dram.CmdWR
+		}
+		if !c.dev.CanIssue(cmd, req.Addr, c.now) {
+			continue // verdict is bank-wide: try the next bank's candidate
+		}
+		res := c.dev.Issue(cmd, req.Addr, c.now)
+		if req.Thread >= 0 && !req.opened {
+			c.stats.RowHits[req.Thread]++
+		}
+		if f := fb.confIdx; f >= 0 && int32(f) < cd.idx {
+			c.capCount[bank]++
+		}
+		q.removeAt(bank, int(cd.idx))
+		c.completeColumn(req, res)
+		return true
+	}
+
+	// Second pass: oldest request's required preparation command.
+	if c.actGate != nil {
+		return c.scheduleGated(q)
+	}
+	prep := c.prepCands[:0]
+	backoff := c.now < c.backoffUntil
+	for _, b := range q.active {
+		bank := int(b)
+		if c.dev.BankBlockedUntil(bank) > c.now {
+			continue
+		}
+		if c.prevQ[bank].len() > 0 || c.refPending[c.dev.RankOf(bank)] {
+			continue // let higher-priority work own the bank
+		}
+		row, open := c.dev.OpenRow(bank)
+		fb := &q.banks[bank]
+		fb.validate(row, open)
+		if open {
+			f := fb.confIdx
+			if f < 0 {
+				continue // only hits queued; pass 1 already considered them
+			}
+			prep = append(prep, prepCand{seq: fb.reqs[f].seq, bank: b, open: true})
+			continue
+		}
+		if backoff {
+			continue // PRAC back-off pauses new activations, not precharges
+		}
+		prep = append(prep, prepCand{seq: fb.reqs[0].seq, bank: b})
+	}
+	c.prepCands = prep
+	sortPrepCands(prep)
+	for _, cd := range prep {
+		bank := int(cd.bank)
+		if cd.open {
+			pre := dram.Addr{Bank: bank}
+			if !c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
+				continue // bank-wide verdict: bank exhausted this cycle
+			}
+			c.dev.Issue(dram.CmdPRE, pre, c.now)
+			c.capCount[bank] = 0
+			return true
+		}
+		req := q.banks[bank].reqs[0]
+		if !c.dev.CanIssue(dram.CmdACT, req.Addr, c.now) {
+			continue // ACT legality ignores the row: bank exhausted
+		}
+		c.issueACT(req, bank)
+		return true
+	}
+	return false
+}
+
+// scheduleGated is pass 2 with an ActGate installed (BlockHammer). The
+// gate is stateful — it records and counts every evaluation — so closed
+// banks must be walked request by request in global arrival order, merged
+// across banks, exactly as the seed tree's flat scan did: a rejection
+// advances to the bank's next request (another gate evaluation), and so
+// does a CanIssue(ACT) failure after the gate passed.
+func (c *Controller) scheduleGated(q *readyQueue) bool {
+	ws := c.walkers[:0]
+	backoff := c.now < c.backoffUntil
+	for _, b := range q.active {
+		bank := int(b)
+		if c.dev.BankBlockedUntil(bank) > c.now {
+			continue
+		}
+		if c.prevQ[bank].len() > 0 || c.refPending[c.dev.RankOf(bank)] {
+			continue
+		}
+		row, open := c.dev.OpenRow(bank)
+		fb := &q.banks[bank]
+		fb.validate(row, open)
+		if open {
+			f := fb.confIdx
+			if f < 0 {
+				continue
+			}
+			ws = append(ws, gateWalker{seq: fb.reqs[f].seq, bank: b, idx: int32(f), open: true})
+			continue
+		}
+		if backoff {
+			continue
+		}
+		ws = append(ws, gateWalker{seq: fb.reqs[0].seq, bank: b})
+	}
+	c.walkers = ws
+	for len(ws) > 0 {
+		mi := 0
+		for i := 1; i < len(ws); i++ {
+			if ws[i].seq < ws[mi].seq {
+				mi = i
+			}
+		}
+		w := &ws[mi]
+		bank := int(w.bank)
+		fb := &q.banks[bank]
+		if w.open {
+			pre := dram.Addr{Bank: bank}
+			if c.dev.CanIssue(dram.CmdPRE, pre, c.now) {
+				c.dev.Issue(dram.CmdPRE, pre, c.now)
+				c.capCount[bank] = 0
+				return true
+			}
+			ws[mi] = ws[len(ws)-1]
+			ws = ws[:len(ws)-1]
+			continue
+		}
+		req := fb.reqs[w.idx]
+		if !c.actGate(bank, req.Addr.Row, req.Thread, c.now) {
+			c.stats.GatedACTs++
+		} else if c.dev.CanIssue(dram.CmdACT, req.Addr, c.now) {
+			c.issueACT(req, bank)
+			return true
+		}
+		// Advance to the bank's next request (both on gate rejection and
+		// on a CanIssue failure: the flat scan kept evaluating the gate on
+		// later same-bank requests).
+		w.idx++
+		if int(w.idx) >= len(fb.reqs) {
+			ws[mi] = ws[len(ws)-1]
+			ws = ws[:len(ws)-1]
+		} else {
+			w.seq = fb.reqs[w.idx].seq
+		}
+	}
+	return false
+}
+
+// issueACT performs a demand activation for req and fires the activate
+// observers (inline or deferred into the event buffer).
+func (c *Controller) issueACT(req *Request, bank int) {
+	c.dev.Issue(dram.CmdACT, req.Addr, c.now)
+	req.opened = true
+	c.capCount[bank] = 0
+	c.stats.TotalACTs++
+	if req.Thread >= 0 {
+		c.stats.DemandACTs[req.Thread]++
+	}
+	if c.events != nil {
+		c.events.events = append(c.events.events,
+			Event{Kind: EventActivate, Bank: bank, Row: req.Addr.Row, Thread: req.Thread, At: c.now})
+		return
+	}
+	c.fireActivate(bank, req.Addr.Row, req.Thread, c.now)
+}

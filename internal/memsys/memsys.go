@@ -157,7 +157,10 @@ func New(cfg Config, threads int) (*Interleaved, error) {
 		// buffered batch so serial and parallel execution are identical.
 		m.bufs = make([]*memctrl.EventBuffer, n)
 		for i, c := range m.ctrls {
-			m.bufs[i] = &memctrl.EventBuffer{}
+			// Pre-grown: a cycle batch emits at most a few events per
+			// channel (one command plus drained responses), so 256 keeps
+			// the batch loop allocation-free from the first tick.
+			m.bufs[i] = memctrl.NewEventBuffer(256)
 			c.SetEventBuffer(m.bufs[i])
 		}
 	}

@@ -1,0 +1,49 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the CLI tools
+// to runtime/pprof. The simulator's hot loops (controller scheduling,
+// cache walks, channel ticking) are pure Go, so the standard profiles are
+// the primary optimisation instrument; EXPERIMENTS.md's profiling section
+// documents the workflow.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (no-op when empty) and returns
+// a stop function that ends the CPU profile and snapshots the heap
+// profile into memPath (no-op when empty). Call stop exactly once, after
+// the work being measured; it is safe to call via defer on normal exits.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		return pprof.WriteHeapProfile(f)
+	}, nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"breakhammer/internal/workload"
+)
+
+// schedGoldenCases are small end-to-end runs whose memory-controller
+// counters were recorded on the seed full-scan FR-FCFS scheduler. They
+// pin the system-level observable behavior of the scheduler across
+// reworks: a scheduling change that alters any command decision shifts
+// cycles, ACT counts or gated-ACT counts and fails here. Regenerate the
+// golden strings ONLY for an intentional, SchemaVersion-bumping
+// behavior change (see DESIGN.md "Memory-controller scheduling").
+var schedGoldenCases = []struct {
+	name   string
+	mix    string
+	mech   string
+	bh     bool
+	nrh    int
+	chans  int
+	golden string // filled by TestSchedulerGoldenStats's formatter
+}{
+	{name: "attack-graphene-bh", mix: "MLLA", mech: "graphene", bh: true, nrh: 256, chans: 1,
+		golden: "cycles=152576 acts=12346 hits=1091 reads=13075 writes=64 ref=32 vrr=408 rfm=0 mig=0 aux=0 gated=0 total=12346 backoff=0 actions=103"},
+	{name: "benign-rfm", mix: "HML", mech: "rfm", bh: false, nrh: 512, chans: 1,
+		golden: "cycles=152576 acts=3887 hits=1824 reads=5512 writes=193 ref=32 vrr=0 rfm=37 mig=0 aux=0 gated=0 total=3887 backoff=0 actions=37"},
+	{name: "attack-blockhammer-gated", mix: "LLA", mech: "blockhammer", bh: false, nrh: 32, chans: 1,
+		golden: "cycles=47104 acts=2380 hits=480 reads=2810 writes=0 ref=10 vrr=0 rfm=0 mig=0 aux=0 gated=44265 total=2380 backoff=0 actions=3"},
+	{name: "attack-2ch-hydra", mix: "MLLA", mech: "hydra", bh: true, nrh: 256, chans: 2,
+		golden: "cycles=93184 acts=6174 hits=1334 reads=7431 writes=65 ref=38 vrr=0 rfm=0 mig=0 aux=172 gated=0 total=6174 backoff=0 actions=172"},
+	{name: "attack-aqua-migrations", mix: "LA", mech: "aqua", bh: false, nrh: 64, chans: 1,
+		golden: "cycles=96256 acts=5640 hits=237 reads=5776 writes=0 ref=20 vrr=0 rfm=0 mig=132 aux=0 gated=0 total=5640 backoff=0 actions=132"},
+}
+
+// schedGoldenFingerprint compresses a run's scheduler-observable outcome
+// into one comparable line.
+func schedGoldenFingerprint(res MixResult) string {
+	mc := res.MC
+	var acts, hits, reads int64
+	for i := range mc.DemandACTs {
+		acts += mc.DemandACTs[i]
+		hits += mc.RowHits[i]
+		reads += mc.ReadsDone[i]
+	}
+	return fmt.Sprintf("cycles=%d acts=%d hits=%d reads=%d writes=%d ref=%d vrr=%d rfm=%d mig=%d aux=%d gated=%d total=%d backoff=%d actions=%d",
+		res.Cycles, acts, hits, reads, mc.WritesDone, mc.Refreshes, mc.VRRs,
+		mc.RFMs, mc.Migrations, mc.AuxAccesses, mc.GatedACTs, mc.TotalACTs,
+		mc.BackoffCycles, res.Actions)
+}
+
+func schedGoldenRun(t *testing.T, i int) MixResult {
+	t.Helper()
+	tc := schedGoldenCases[i]
+	cfg := FastConfig()
+	cfg.TargetInsts = 60_000
+	cfg.BHWindow = 150_000
+	cfg.Mechanism = tc.mech
+	cfg.NRH = tc.nrh
+	cfg.BreakHammer = tc.bh
+	cfg.Channels = tc.chans
+	cfg.Seed = 11
+	mix, err := workload.ParseMix(tc.mix, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSchedulerGoldenStats locks the end-to-end scheduler behavior to
+// the recorded seed-tree fingerprints.
+func TestSchedulerGoldenStats(t *testing.T) {
+	for i, tc := range schedGoldenCases {
+		i, tc := i, tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := schedGoldenFingerprint(schedGoldenRun(t, i))
+			if got != tc.golden {
+				t.Errorf("scheduler fingerprint drifted:\n got    %s\n golden %s", got, tc.golden)
+			}
+		})
+	}
+}
