@@ -48,6 +48,8 @@ func main() {
 		nrhs       = flag.String("nrhs", "", "comma-separated N_RH sweep (empty = preset default)")
 		mechs      = flag.String("mechs", "", "comma-separated mechanisms (empty = preset default)")
 		traces     = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
+		strategies = flag.String("strategies", "", "comma-separated adaptive attacker strategies for the scenario figure (default hammer,probe,burst,decoy)")
+		defenses   = flag.String("defenses", "", "comma-separated composed defenses for the scenario figure, e.g. graphene+bh,prac+rfm+bh")
 		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently per figure job (0 = auto)")
 		figureJobs = flag.Int("figure-jobs", 2, "figure jobs computed concurrently")
 		compact    = flag.Bool("compact", true, "compact the store's shards at startup (drops superseded records)")
@@ -63,6 +65,8 @@ func main() {
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
 		Traces:     *traces,
+		Strategies: *strategies,
+		Defenses:   *defenses,
 
 		ParallelChannels: *parallelCh,
 	}.Resolve()

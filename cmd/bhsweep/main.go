@@ -43,23 +43,27 @@ func main() {
 	log.SetPrefix("bhsweep: ")
 
 	var (
-		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6 or 'all'")
+		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6,scenarios or 'all'")
 		mixes    = flag.Int("mixes", 0, "workload mixes per group (0 = preset default; paper: 15)")
 		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = preset default)")
 		channels = flag.Int("channels", 0, "memory channels for every experiment point (power of two; 0 = preset default)")
 		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
 		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
 		traces   = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
-		csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of ASCII")
-		outDir   = flag.String("out", "", "write one file per experiment into this directory")
-		quick    = flag.Bool("quick", false, "minimal smoke-test sweep")
-		paper    = flag.Bool("paper", false, "paper-scale sweep: full Table 1 system, 15 mixes/group, seven N_RH values (cluster days; pair with -cache-dir)")
-		cacheDir = flag.String("cache-dir", "", "persist simulation results here; repeated sweeps recompute nothing")
-		resume   = flag.Bool("resume", true, "with -cache-dir: serve previously completed points from the cache (false recomputes and supersedes them)")
-		jobs     = flag.Int("jobs", 0, "configuration points simulated concurrently (0 = auto: ~GOMAXPROCS/4, since each point also parallelizes across its mixes)")
-		progress = flag.Bool("progress", true, "stream per-point progress (with ETA) to stderr")
-		compact  = flag.Bool("compact", false, "with -cache-dir: compact the store's shards (drop superseded records) and exit")
+
+		scenarios  = flag.Bool("scenarios", false, "run only the adversarial scenario grid (shorthand for -figs scenarios)")
+		strategies = flag.String("strategies", "", "comma-separated adaptive attacker strategies for the scenario grid (default hammer,probe,burst,decoy)")
+		defenses   = flag.String("defenses", "", "comma-separated composed defenses for the scenario grid, e.g. graphene+bh,prac+rfm+bh")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of ASCII")
+		outDir     = flag.String("out", "", "write one file per experiment into this directory")
+		quick      = flag.Bool("quick", false, "minimal smoke-test sweep")
+		paper      = flag.Bool("paper", false, "paper-scale sweep: full Table 1 system, 15 mixes/group, seven N_RH values (cluster days; pair with -cache-dir)")
+		cacheDir   = flag.String("cache-dir", "", "persist simulation results here; repeated sweeps recompute nothing")
+		resume     = flag.Bool("resume", true, "with -cache-dir: serve previously completed points from the cache (false recomputes and supersedes them)")
+		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently (0 = auto: ~GOMAXPROCS/4, since each point also parallelizes across its mixes)")
+		progress   = flag.Bool("progress", true, "stream per-point progress (with ETA) to stderr")
+		compact    = flag.Bool("compact", false, "with -cache-dir: compact the store's shards (drop superseded records) and exit")
 
 		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
@@ -114,6 +118,8 @@ func main() {
 		NRHs:       *nrhs,
 		Mechanisms: *mechs,
 		Traces:     *traces,
+		Strategies: *strategies,
+		Defenses:   *defenses,
 
 		ParallelChannels: *parallelCh,
 	}.Resolve()
@@ -163,13 +169,23 @@ func main() {
 
 	all := exp.Experiments()
 	selected := map[string]bool{}
-	if *figs == "all" {
+	switch {
+	case *scenarios:
+		if *figs != "all" {
+			log.Fatal("-scenarios and -figs are mutually exclusive (use -figs scenarios,... to combine)")
+		}
+		selected["scenarios"] = true
+	case *figs == "all":
 		for _, e := range all {
 			selected[e.Name] = true
 		}
-	} else {
+	default:
 		for _, f := range strings.Split(*figs, ",") {
-			selected[strings.TrimSpace(f)] = true
+			name := strings.TrimSpace(f)
+			if _, ok := exp.ExperimentByName(name); !ok {
+				log.Fatalf("unknown experiment %q in -figs (see -figs usage for the catalogue)", name)
+			}
+			selected[name] = true
 		}
 	}
 

@@ -56,6 +56,14 @@ type Stats struct {
 	SuspectEvents   []int64 // per-thread suspect markings (transitions)
 	SuspectWindows  []int64 // per-thread windows spent throttled
 	WindowRotations int64
+
+	// AttributedScore accumulates each thread's attributed RowHammer-
+	// preventive score over the whole run — unlike the working score
+	// sets, it never resets at window rotations. It is the blame ledger:
+	// the scenario engine's frontier table and the decoy-strategy tests
+	// read it to tell how much of the defense's suspicion landed on
+	// benign threads versus the attacker.
+	AttributedScore []float64
 }
 
 // BreakHammer holds the per-thread score counters (two time-interleaved
@@ -95,8 +103,9 @@ func New(p Params) *BreakHammer {
 		b.quota[i] = p.MSHRs
 	}
 	b.stats = Stats{
-		SuspectEvents:  make([]int64, p.Threads),
-		SuspectWindows: make([]int64, p.Threads),
+		SuspectEvents:   make([]int64, p.Threads),
+		SuspectWindows:  make([]int64, p.Threads),
+		AttributedScore: make([]float64, p.Threads),
 	}
 	return b
 }
@@ -180,6 +189,7 @@ func (b *BreakHammer) OnPreventiveAction(now int64) {
 			frac := float64(a) / total
 			b.scores[0][i] += frac
 			b.scores[1][i] += frac
+			b.stats.AttributedScore[i] += frac
 			b.acts[i] = 0
 		}
 		b.totalActs = 0
@@ -197,6 +207,7 @@ func (b *BreakHammer) OnThreadPreventiveAction(thread int, now int64) {
 	b.stats.ActionsObserved++
 	b.scores[0][thread]++
 	b.scores[1][thread]++
+	b.stats.AttributedScore[thread]++
 	b.identifySuspects()
 }
 

@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"18", "Figure 18: BreakHammer-paired mechanisms vs BlockHammer (attacker present)", false, (*Runner).Figure18},
 		{"19", "Figure 19: sensitivity to TH_threat (graphene+BH)", false, (*Runner).Figure19},
 		{"sec5", "Section 5: multi-threaded attack scenarios (graphene+BH)", false, (*Runner).Section5},
+		{"scenarios", "Adversarial scenarios: adaptive strategies vs composed defenses (security/performance frontier)", false, (*Runner).Scenarios},
 		{"sec6", "Section 6: hardware complexity", true,
 			func(*Runner) (Table, error) { return Section6(), nil }},
 	}
@@ -100,7 +101,11 @@ func (r *Runner) experimentKeys(name string) ([]string, error) {
 	points := r.PointsFor([]string{name})
 	keys := make([]string, 0, len(points))
 	for _, p := range points {
-		key, err := results.Key(r.configFor(p), r.mixes(p.Attack))
+		mixes, err := r.mixesFor(p)
+		if err != nil {
+			return nil, err
+		}
+		key, err := results.Key(r.configFor(p), mixes)
 		if err != nil {
 			return nil, err
 		}

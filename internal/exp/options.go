@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"breakhammer/internal/scenario"
 	"breakhammer/internal/sim"
 )
 
@@ -34,6 +35,8 @@ type OptionSpec struct {
 	NRHs       string // comma-separated N_RH sweep; "" = preset default
 	Mechanisms string // comma-separated mechanism list; "" = preset default
 	Traces     string // comma-separated trace files driving benign cores; "" = synthetic workloads
+	Strategies string // comma-separated adaptive strategies for the scenario grid; "" = preset default
+	Defenses   string // comma-separated composed defenses ("graphene+bh,prac+rfm+bh"); "" = preset default
 
 	// ParallelChannels ticks each simulation's memory channels on a
 	// worker pool. Results (and therefore store keys) are identical to
@@ -93,6 +96,23 @@ func (sp OptionSpec) Resolve() (Options, error) {
 			}
 			o.Traces = append(o.Traces, t)
 		}
+	}
+	if sp.Strategies != "" {
+		o.Strategies = o.Strategies[:0]
+		for _, s := range strings.Split(sp.Strategies, ",") {
+			s = strings.TrimSpace(s)
+			if err := scenario.ValidStrategy(s); err != nil {
+				return Options{}, fmt.Errorf("exp: %w", err)
+			}
+			o.Strategies = append(o.Strategies, s)
+		}
+	}
+	if sp.Defenses != "" {
+		ds, err := scenario.ParseDefenses(strings.Split(sp.Defenses, ","))
+		if err != nil {
+			return Options{}, fmt.Errorf("exp: %w", err)
+		}
+		o.Defenses = ds
 	}
 	return o, nil
 }

@@ -23,6 +23,12 @@ type Point struct {
 	BH       bool    `json:"bh,omitempty"`        // BreakHammer paired with the mechanism
 	Attack   bool    `json:"attack,omitempty"`    // attacker mix family (false = all-benign)
 	BHThreat float64 `json:"bh_threat,omitempty"` // 0 = Table 2 default; Fig. 19 sweeps this
+
+	// Scenario names an adaptive attacker strategy from the scenario
+	// engine; when set the point simulates the strategy's canonical mix
+	// (see mixesFor) instead of the Attack-selected family, and Mech/BH
+	// spell the composed defense it runs against.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // String renders the point for progress lines and errors.
@@ -32,9 +38,12 @@ func (p Point) String() string {
 		s += "+BH"
 	}
 	s += fmt.Sprintf(" NRH=%d", p.NRH)
-	if p.Attack {
+	switch {
+	case p.Scenario != "":
+		s += " scn=" + p.Scenario
+	case p.Attack:
 		s += " attack"
-	} else {
+	default:
 		s += " benign"
 	}
 	if p.BHThreat != 0 {
@@ -158,6 +167,16 @@ func (r *Runner) PointsFor(names []string) []Point {
 					}
 				}
 			}
+		case "scenarios":
+			// The frontier runs at the sweep's lowest (most vulnerable)
+			// threshold: preventive-action dynamics are liveliest there,
+			// and the decoy's prime-to-threshold cost stays affordable
+			// within a scaled-down run.
+			for _, d := range o.Defenses {
+				for _, strat := range o.Strategies {
+					add(Point{Mech: d.Mechanism, NRH: o.minNRH(), BH: d.BH, Scenario: strat})
+				}
+			}
 		}
 	}
 	return out
@@ -195,7 +214,11 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 	seen := map[string]bool{}
 	var uniq []pointJob
 	for _, p := range points {
-		key, err := results.Key(r.configFor(p), r.mixes(p.Attack))
+		mixes, err := r.mixesFor(p)
+		if err != nil {
+			return err
+		}
+		key, err := results.Key(r.configFor(p), mixes)
 		if err != nil {
 			return err
 		}

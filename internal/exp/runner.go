@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"breakhammer/internal/results"
+	"breakhammer/internal/scenario"
 	"breakhammer/internal/sim"
 	"breakhammer/internal/stats"
 	"breakhammer/internal/workload"
@@ -36,6 +37,14 @@ type Options struct {
 	// cache directory warmed with one spelling of the paths stays warm
 	// when the files move.
 	Traces []string
+
+	// Strategies and Defenses span the adversarial scenario grid (the
+	// "scenarios" experiment): every (strategy, defense) pair becomes one
+	// frontier point at the mid N_RH. Strategies name entries of the
+	// scenario-strategy registry; Defenses are parsed compositions
+	// ("graphene+bh", "prac+rfm+bh").
+	Strategies []string
+	Defenses   []scenario.Defense
 }
 
 // DefaultOptions returns the scaled-down harness configuration.
@@ -48,6 +57,8 @@ func DefaultOptions() Options {
 		Fig2Mechs:     []string{"hydra", "rfm", "para", "aqua"},
 		Percentiles:   []float64{50, 90, 99, 99.9},
 		THthreats:     []float64{32, 512, 4096},
+		Strategies:    scenario.Strategies(),
+		Defenses:      scenario.DefaultDefenses(),
 	}
 }
 
@@ -191,6 +202,26 @@ func (r *Runner) mixes(attack bool) []workload.Mix {
 	return workload.BenignMixes(r.opts.MixesPerGroup)
 }
 
+// scenarioSeed individualises the scenario grid's workload streams. It is
+// a constant so every grid point content-addresses deterministically.
+const scenarioSeed = 7*104729 + 1
+
+// mixesFor returns the mix list a point simulates: the scenario strategy
+// mix when the point carries one, the family selected by Attack
+// otherwise. The strategy mix depends on the point's N_RH (the decoy
+// models the tracker's action trigger from it), so it is derived per
+// point, not per family.
+func (r *Runner) mixesFor(p Point) ([]workload.Mix, error) {
+	if p.Scenario != "" {
+		m, err := scenario.Mix(p.Scenario, p.NRH, scenarioSeed)
+		if err != nil {
+			return nil, err
+		}
+		return []workload.Mix{m}, nil
+	}
+	return r.mixes(p.Attack), nil
+}
+
 // results runs (or recalls) one configuration point across all mixes of a
 // family.
 func (r *Runner) results(mech string, nrh int, bh, attack bool) ([]sim.MixResult, error) {
@@ -230,7 +261,11 @@ func (r *Runner) pointCtx(ctx context.Context, p Point) (rs []sim.MixResult, cac
 	// content yet store it under the old content's key —
 	// workload.NewSource verifies the pinned hash against the file at
 	// simulation time and fails loudly instead.
-	mixes, err := workload.ResolveTraceHashes(r.mixes(p.Attack))
+	baseMixes, err := r.mixesFor(p)
+	if err != nil {
+		return nil, false, err
+	}
+	mixes, err := workload.ResolveTraceHashes(baseMixes)
 	if err != nil {
 		return nil, false, err
 	}

@@ -11,7 +11,10 @@
 // Observer to attribute RowHammer-preventive scores to threads (§4.1).
 package mitigation
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Issuer is the memory controller's preventive-action interface.
 // breakhammer/internal/memctrl.Controller implements it.
@@ -111,10 +114,15 @@ func Names() []string {
 }
 
 // New constructs a mechanism by name. "blockhammer" builds the baseline
-// comparator; "none" returns nil (no mitigation).
+// comparator; "none" returns nil (no mitigation); a "+"-joined name
+// ("prac+rfm") composes the parts into a Stack running every trigger
+// algorithm side by side (see NewStack for the composition rules).
 func New(name string, p Params, issuer Issuer, obs Observer) (Mechanism, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if strings.Contains(name, "+") {
+		return NewStack(strings.Split(name, "+"), p, issuer, obs)
 	}
 	switch name {
 	case "none":

@@ -1,0 +1,69 @@
+package mitigation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stack composes several mitigation mechanisms on one channel: every
+// member observes every demand activation and runs its own trigger
+// algorithm against the shared Issuer and Observer, so a composed defense
+// (say PRAC's per-row counters layered under RFM's periodic management
+// commands) pays the overhead of both and BreakHammer attributes the
+// union of their preventive actions. The scenario engine's defense
+// stacks ("prac+rfm+bh") resolve to a Stack plus the BreakHammer flag.
+type Stack struct {
+	name    string
+	members []Mechanism
+}
+
+// NewStack composes the named mechanisms. Names must be distinct registry
+// entries; "none" and "blockhammer" cannot be stacked (no trigger
+// algorithm to compose, and BlockHammer is the standalone baseline), and
+// "rega" cannot either — its cost model is a device-level timing change
+// the system applies only for a pure REGA configuration.
+func NewStack(names []string, p Params, issuer Issuer, obs Observer) (*Stack, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("mitigation: a stack needs at least two mechanisms, got %v", names)
+	}
+	seen := map[string]bool{}
+	s := &Stack{name: strings.Join(names, "+")}
+	for _, name := range names {
+		switch name {
+		case "none", "blockhammer", "rega":
+			return nil, fmt.Errorf("mitigation: %q cannot be part of a stack", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mitigation: duplicate mechanism %q in stack", name)
+		}
+		seen[name] = true
+		m, err := New(name, p, issuer, obs)
+		if err != nil {
+			return nil, err
+		}
+		s.members = append(s.members, m)
+	}
+	return s, nil
+}
+
+// Name implements Mechanism: the "+"-joined member names.
+func (s *Stack) Name() string { return s.name }
+
+// Members exposes the composed mechanisms (tests, characterisation).
+func (s *Stack) Members() []Mechanism { return s.members }
+
+// OnActivate implements Mechanism: every member observes the activation.
+func (s *Stack) OnActivate(bank, row, thread int, now int64) {
+	for _, m := range s.members {
+		m.OnActivate(bank, row, thread, now)
+	}
+}
+
+// Actions implements Mechanism: the sum over members.
+func (s *Stack) Actions() int64 {
+	var n int64
+	for _, m := range s.members {
+		n += m.Actions()
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package mitigation
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStackComposition: a "+"-joined name builds a Stack whose members
+// all observe every activation and whose action count is the members'
+// sum — graphene's deterministic trigger fires through the stack exactly
+// as it does standalone.
+func TestStackComposition(t *testing.T) {
+	iss := &fakeIssuer{}
+	obs := newFakeObserver()
+	p := testParams(64) // graphene threshold 16: cheap to cross
+	m, err := New("graphene+rfm", p, iss, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := m.(*Stack)
+	if !ok {
+		t.Fatalf("New(graphene+rfm) built %T, want *Stack", m)
+	}
+	if s.Name() != "graphene+rfm" {
+		t.Errorf("stack name %q", s.Name())
+	}
+	if len(s.Members()) != 2 {
+		t.Fatalf("stack has %d members, want 2", len(s.Members()))
+	}
+
+	solo := NewGraphene(p, &fakeIssuer{}, nil)
+	now := int64(0)
+	for i := 0; i < 40; i++ {
+		now += p.RC
+		s.OnActivate(0, 7, 1, now)
+		solo.OnActivate(0, 7, 1, now)
+	}
+	grapheneActions := s.Members()[0].Actions()
+	if grapheneActions == 0 {
+		t.Fatal("40 activations of one row never crossed graphene's threshold 16")
+	}
+	if got := solo.Actions(); grapheneActions != got {
+		t.Errorf("graphene fired %d times inside the stack but %d standalone", grapheneActions, got)
+	}
+	if got, want := s.Actions(), s.Members()[0].Actions()+s.Members()[1].Actions(); got != want {
+		t.Errorf("stack Actions() = %d, want member sum %d", got, want)
+	}
+	if len(iss.vrrs) == 0 {
+		t.Error("stacked graphene issued no victim refreshes")
+	}
+	if obs.proportional == 0 {
+		t.Error("stacked preventive actions were not attributed to the observer")
+	}
+}
+
+// TestStackRejections: stacks need two or more distinct, composable
+// members.
+func TestStackRejections(t *testing.T) {
+	iss := &fakeIssuer{}
+	for _, bad := range []string{
+		"graphene",             // a stack of one is not a stack
+		"graphene+graphene",    // duplicate member
+		"none+graphene",        // nothing to compose
+		"blockhammer+graphene", // standalone baseline
+		"rega+rfm",             // device-level timing change
+		"graphene+bogus",       // unknown member
+	} {
+		if _, err := NewStack(strings.Split(bad, "+"), testParams(1024), iss, nil); err == nil {
+			t.Errorf("NewStack(%q) did not error", bad)
+		}
+	}
+}

@@ -38,12 +38,16 @@ import (
 //
 // Version history:
 //
+//	3: BreakHammer stats gained the cumulative AttributedScore blame
+//	   ledger (per-thread, never reset), so stored Result JSON changed
+//	   shape; records written before the ledger existed would silently
+//	   decode it as empty.
 //	2: multi-channel ticking became a cycle batch (cross-channel side
 //	   effects drain at the barrier in channel-index order), which
 //	   slightly re-times multi-channel simulations; pre-batch
 //	   multi-channel records are unreproducible and must not be served.
 //	1: initial persistent store.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // Key returns the content address of one experiment point: a hex SHA-256
 // over the schema version and the canonical fingerprint of (config,

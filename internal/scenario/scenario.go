@@ -1,0 +1,216 @@
+// Package scenario is the adversarial scenario engine: adaptive attacker
+// strategies that observe per-interval feedback (own IPC, request latency,
+// BreakHammer's throttling signals) and adjust their behaviour, paired
+// with composed defenses (a mitigation mechanism — possibly a "+"-joined
+// stack — with or without BreakHammer layered on top).
+//
+// A strategy is a workload.Source registered under a name (see
+// workload.RegisterStrategy); importing this package links the shipped
+// library (hammer, probe, burst, decoy). A Defense names a mitigation
+// registry entry plus the BreakHammer flag, parsed from strings like
+// "graphene+bh" or "prac+rfm+bh". Mix builds the canonical workload for a
+// (strategy, RowHammer threshold) pair — three benign victims plus the
+// strategy's attacker thread(s) — so every grid point content-addresses
+// through sim.Fingerprint exactly like the paper's standard mixes.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"breakhammer/internal/mitigation"
+	"breakhammer/internal/workload"
+)
+
+// Strategies returns the shipped strategy names in the canonical grid
+// order (non-adaptive baseline first).
+func Strategies() []string {
+	return []string{StrategyHammer, StrategyProbe, StrategyBurst, StrategyDecoy}
+}
+
+// ValidStrategy reports whether name is a registered strategy — shipped
+// or third-party — and, when it is not, returns an error listing the
+// registered names.
+func ValidStrategy(name string) error {
+	for _, s := range workload.StrategyNames() {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("scenario: unknown strategy %q (registered: %s)",
+		name, strings.Join(workload.StrategyNames(), ", "))
+}
+
+// Defense is one composed defense configuration: a mitigation mechanism
+// (possibly a "+"-joined stack, or "none") and whether BreakHammer is
+// layered on top of it.
+type Defense struct {
+	// Mechanism is the mitigation registry name ("graphene", "prac+rfm",
+	// "none").
+	Mechanism string
+	// BH layers BreakHammer's scoring and MSHR-quota throttling on top.
+	BH bool
+}
+
+// String returns the canonical spelling ParseDefense accepts:
+// the mechanism name with a "+bh" suffix when BreakHammer is layered on.
+func (d Defense) String() string {
+	if d.BH {
+		return d.Mechanism + "+bh"
+	}
+	return d.Mechanism
+}
+
+// ParseDefense parses a defense string: "+"-separated parts where "bh"
+// (or "breakhammer") sets the BreakHammer flag and the remaining parts
+// name the mitigation mechanism — one registry entry, or several forming
+// a stack. No mechanism parts means "none" ("bh" alone is BreakHammer
+// over no mitigation, which observes nothing but is a valid corner).
+func ParseDefense(s string) (Defense, error) {
+	var d Defense
+	var mechs []string
+	for _, part := range strings.Split(strings.ToLower(strings.TrimSpace(s)), "+") {
+		switch part {
+		case "":
+			return Defense{}, fmt.Errorf("scenario: empty component in defense %q", s)
+		case "bh", "breakhammer":
+			if d.BH {
+				return Defense{}, fmt.Errorf("scenario: duplicate \"bh\" in defense %q", s)
+			}
+			d.BH = true
+		default:
+			mechs = append(mechs, part)
+		}
+	}
+	known := map[string]bool{"none": true, "blockhammer": true}
+	for _, n := range mitigation.Names() {
+		known[n] = true
+	}
+	for _, m := range mechs {
+		if !known[m] {
+			names := append(mitigation.Names(), "blockhammer", "none", "bh")
+			sort.Strings(names)
+			return Defense{}, fmt.Errorf("scenario: unknown mechanism %q in defense %q (known: %s)",
+				m, s, strings.Join(names, ", "))
+		}
+		if len(mechs) > 1 {
+			switch m {
+			case "none", "blockhammer", "rega":
+				return Defense{}, fmt.Errorf("scenario: %q cannot be stacked with other mechanisms in defense %q", m, s)
+			}
+		}
+	}
+	if len(mechs) == 0 {
+		d.Mechanism = "none"
+	} else {
+		d.Mechanism = strings.Join(mechs, "+")
+	}
+	if d.Mechanism == "blockhammer" && d.BH {
+		return Defense{}, fmt.Errorf("scenario: blockhammer is the standalone throttling baseline and cannot be layered with bh")
+	}
+	return d, nil
+}
+
+// ParseDefenses parses a list of defense strings, rejecting duplicates
+// (after canonicalisation).
+func ParseDefenses(specs []string) ([]Defense, error) {
+	out := make([]Defense, 0, len(specs))
+	seen := map[string]bool{}
+	for _, s := range specs {
+		d, err := ParseDefense(s)
+		if err != nil {
+			return nil, err
+		}
+		if seen[d.String()] {
+			return nil, fmt.Errorf("scenario: duplicate defense %q", d.String())
+		}
+		seen[d.String()] = true
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// DefaultDefenses returns the canonical defense axis of the frontier
+// grid: no defense, the strongest tracker alone and with BreakHammer,
+// BreakHammer over PRAC and Hydra, and one genuine two-mechanism stack.
+func DefaultDefenses() []Defense {
+	return []Defense{
+		{Mechanism: "none"},
+		{Mechanism: "graphene"},
+		{Mechanism: "graphene", BH: true},
+		{Mechanism: "prac", BH: true},
+		{Mechanism: "hydra", BH: true},
+		{Mechanism: "prac+rfm", BH: true},
+	}
+}
+
+// Scenario strategy-thread tuning. The feedback cadences are coarse
+// enough to keep skip-ahead wake-ups cheap yet fine enough for the
+// probe's score reaction and the decoy's one-poke-per-interval pacing;
+// probeBanks keeps the probe's preventive-action trains small (one bank's
+// rows cross a tracker threshold nearly simultaneously, so fewer banks
+// mean a smaller score jump between two feedback deliveries).
+const (
+	probeFeedbackEvery = 2048
+	burstFeedbackEvery = 1024
+	decoyFeedbackEvery = 2048
+	probeBanks         = 1
+	decoyBanks         = 1
+	decoyThreads       = 2
+)
+
+// StrategySpec returns the spec for one thread of the named strategy.
+// idx individualises threads of multi-thread strategies; nrh is the
+// RowHammer threshold the grid point simulates (the decoy models the
+// tracker's per-row action trigger as nrh/4, Graphene's refresh
+// threshold).
+func StrategySpec(name string, idx, nrh int, seed int64) (workload.Spec, error) {
+	if err := ValidStrategy(name); err != nil {
+		return workload.Spec{}, err
+	}
+	s := workload.AttackerSpec(idx, seed)
+	s.Name = fmt.Sprintf("%s%d", name, idx)
+	s.Strategy = name
+	switch name {
+	case StrategyProbe:
+		s.AggressorBanks = probeBanks
+		s.FeedbackEvery = probeFeedbackEvery
+	case StrategyBurst:
+		s.FeedbackEvery = burstFeedbackEvery
+	case StrategyDecoy:
+		trigger := nrh / 4
+		if trigger < 1 {
+			trigger = 1
+		}
+		s.AggressorBanks = decoyBanks
+		s.FeedbackEvery = decoyFeedbackEvery
+		s.StrategyArgs = map[string]float64{"trigger": float64(trigger)}
+	}
+	return s, nil
+}
+
+// Mix builds the canonical workload for a strategy at a RowHammer
+// threshold: three benign victims (one per intensity class, matching the
+// HML prefix of the paper's attack mixes) plus the strategy's attacker
+// thread(s) — two for the decoy (a pair of accomplices doubles the
+// laundered action rate), one otherwise.
+func Mix(strategy string, nrh int, seed int64) (workload.Mix, error) {
+	m := workload.Mix{Name: "scn-" + strategy}
+	for i, c := range []workload.Class{workload.High, workload.Medium, workload.Low} {
+		m.Specs = append(m.Specs, workload.ClassSpec(c, i, seed+int64(i)*7919))
+	}
+	threads := 1
+	if strategy == StrategyDecoy {
+		threads = decoyThreads
+	}
+	for i := 0; i < threads; i++ {
+		idx := len(m.Specs)
+		spec, err := StrategySpec(strategy, i, nrh, seed+int64(idx)*7919)
+		if err != nil {
+			return workload.Mix{}, err
+		}
+		m.Specs = append(m.Specs, spec)
+	}
+	return m, nil
+}

@@ -1,0 +1,328 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"breakhammer/internal/workload"
+	"breakhammer/internal/workload/sourcetest"
+)
+
+// TestStrategyConformance runs the workload-source conformance harness
+// over every shipped strategy at two thresholds: adaptive sources must
+// be deterministic, thread-confined and fingerprint-stable like any
+// other Source.
+func TestStrategyConformance(t *testing.T) {
+	for _, nrh := range []int{64, 1024} {
+		for _, name := range Strategies() {
+			spec, err := StrategySpec(name, 0, nrh, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(spec.Name, func(t *testing.T) { sourcetest.Run(t, spec) })
+		}
+	}
+}
+
+// TestStrategiesRegistered: the shipped library is registered under the
+// canonical names and NewSource dispatches to it.
+func TestStrategiesRegistered(t *testing.T) {
+	registered := workload.StrategyNames()
+	for _, name := range Strategies() {
+		found := false
+		for _, r := range registered {
+			if r == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("strategy %q not registered (have %v)", name, registered)
+		}
+	}
+	spec, err := StrategySpec(StrategyProbe, 0, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSource(spec, 3)
+	if err != nil {
+		t.Fatalf("NewSource for probe spec: %v", err)
+	}
+	if _, ok := src.(*prober); !ok {
+		t.Fatalf("NewSource built %T, want *prober", src)
+	}
+}
+
+// TestUnknownStrategyErrors: an unregistered name fails loudly at source
+// construction and at validation.
+func TestUnknownStrategyErrors(t *testing.T) {
+	if err := ValidStrategy("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("ValidStrategy(nosuch) = %v, want error naming the strategy", err)
+	}
+	spec := workload.AttackerSpec(0, 1)
+	spec.Strategy = "nosuch"
+	if _, err := workload.NewSource(spec, 0); err == nil {
+		t.Error("NewSource with unknown strategy did not error")
+	}
+}
+
+// fbWith returns a feedback sample with the given BreakHammer signals.
+func fbWith(cycle int64, score float64, suspect bool) workload.Feedback {
+	return workload.Feedback{
+		Cycle: cycle, Interval: 2048,
+		Score: score, Suspect: suspect,
+		Quota: 32, FullQuota: 32, Threat: 32,
+		RefreshInterval: 9360, RefreshWindow: 9360 * 8192,
+	}
+}
+
+// TestProberHoversUnderThreshold: the probe hammers below the headroom
+// score, goes quiet at or above it (or when marked), and resumes when
+// the score decays — the threshold-probing loop.
+func TestProberHoversUnderThreshold(t *testing.T) {
+	spec, err := StrategySpec(StrategyProbe, 0, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSource(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := src.(*prober)
+	if !p.hammering {
+		t.Fatal("probe must start hammering (nothing observed yet)")
+	}
+	hammerLine := func() uint64 { _, line, _ := p.Next(); return line }
+	idle := workload.BaseLine(3)
+	if hammerLine() == idle {
+		t.Fatal("hammering probe emitted its idle line")
+	}
+	p.ObserveFeedback(fbWith(2048, 10, false)) // 10 < 0.6*32
+	if !p.hammering {
+		t.Error("score 10/32 should keep the probe hammering")
+	}
+	p.ObserveFeedback(fbWith(4096, 20, false)) // 20 >= 19.2
+	if p.hammering {
+		t.Error("score 20/32 should pause the probe")
+	}
+	if got := hammerLine(); got != idle {
+		t.Errorf("paused probe emitted line %#x, want idle line %#x", got, idle)
+	}
+	p.ObserveFeedback(fbWith(6144, 5, false)) // window rotated, score decayed
+	if !p.hammering {
+		t.Error("decayed score should resume the probe")
+	}
+	p.ObserveFeedback(fbWith(8192, 5, true)) // marked despite low score
+	if p.hammering {
+		t.Error("a suspect mark should pause the probe regardless of score")
+	}
+	// Without BreakHammer there is no score to probe: always hammer.
+	p.ObserveFeedback(workload.Feedback{Cycle: 10240, Interval: 2048})
+	if !p.hammering {
+		t.Error("probe without BreakHammer signals should degenerate to the plain hammer")
+	}
+}
+
+// TestBursterFollowsPhase: the burster hammers during the duty fraction
+// of each refresh-synchronized period and idles outside it.
+func TestBursterFollowsPhase(t *testing.T) {
+	spec, err := StrategySpec(StrategyBurst, 0, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSource(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := src.(*burster)
+	period := 4 * int64(9360) // default: four refresh intervals
+	b.ObserveFeedback(fbWith(period/4, 0, false))
+	if !b.hammering {
+		t.Error("cycle at 25% of the period is inside the 50% duty window")
+	}
+	b.ObserveFeedback(fbWith(period/2+1, 0, false))
+	if b.hammering {
+		t.Error("cycle past 50% of the period is outside the duty window")
+	}
+	if _, line, _ := b.Next(); line != workload.BaseLine(3) {
+		t.Errorf("off-duty burster emitted line %#x, want its idle line", line)
+	}
+	b.ObserveFeedback(fbWith(period+10, 0, false))
+	if !b.hammering {
+		t.Error("next period's start is inside the duty window again")
+	}
+}
+
+// TestDecoyPrimesThenPokes: the decoy primes every aggressor row to
+// trigger-1 activations, then releases exactly one crossing per feedback
+// interval, and pauses outright when its own score becomes visible.
+func TestDecoyPrimesThenPokes(t *testing.T) {
+	spec, err := StrategySpec(StrategyDecoy, 0, 64, 7) // trigger = 64/4 = 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSource(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := src.(*decoy)
+	rows := len(d.lines)
+	if rows != 10 {
+		t.Fatalf("decoy tracks %d lines, want 10", rows)
+	}
+	target := 15 // trigger-1
+	perLine := make(map[uint64]int)
+	primeAccesses := rows * target
+	for i := 0; i < primeAccesses; i++ {
+		_, line, _ := d.Next()
+		perLine[line]++
+	}
+	for _, l := range d.lines {
+		if perLine[l] != target {
+			t.Fatalf("prime phase gave line %#x %d accesses, want %d", l, perLine[l], target)
+		}
+	}
+	// Primed and no feedback yet: nothing to poke, the decoy idles.
+	if _, line, _ := d.Next(); line != workload.BaseLine(3) {
+		t.Fatalf("primed decoy poked before a feedback interval arrived (line %#x)", line)
+	}
+	// One poke per interval, cycling through the rows.
+	for i := 0; i < 3; i++ {
+		d.ObserveFeedback(fbWith(int64(i+1)*2048, 0, false))
+		_, line, _ := d.Next()
+		if line != d.lines[i] {
+			t.Fatalf("poke %d hit line %#x, want %#x", i, line, d.lines[i])
+		}
+		if _, again, _ := d.Next(); again != workload.BaseLine(3) {
+			t.Fatalf("decoy poked twice in one interval (line %#x)", again)
+		}
+	}
+	// A visible own score pauses everything.
+	d.ObserveFeedback(fbWith(4*2048, 25, false)) // 25 >= 0.6*32
+	if _, line, _ := d.Next(); line != workload.BaseLine(3) {
+		t.Error("decoy with a visible score must idle")
+	}
+}
+
+// TestStrategyArgValidation: bad strategy parameters fail at source
+// construction with errors naming the parameter.
+func TestStrategyArgValidation(t *testing.T) {
+	cases := []struct {
+		strategy string
+		args     map[string]float64
+		want     string
+	}{
+		{StrategyProbe, map[string]float64{"headroom": 1.5}, "headroom"},
+		{StrategyBurst, map[string]float64{"duty": 0}, "duty"},
+		{StrategyDecoy, nil, "trigger"},
+		{StrategyDecoy, map[string]float64{"trigger": 16, "headroom": -1}, "headroom"},
+	}
+	for _, c := range cases {
+		spec := workload.AttackerSpec(0, 1)
+		spec.Strategy = c.strategy
+		spec.StrategyArgs = c.args
+		_, err := workload.NewSource(spec, 0)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s args %v: error %v, want mention of %q", c.strategy, c.args, err, c.want)
+		}
+	}
+}
+
+// TestParseDefense: the defense grammar accepts compositions and rejects
+// unknown or contradictory spellings with errors naming the culprit.
+func TestParseDefense(t *testing.T) {
+	good := []struct {
+		in   string
+		mech string
+		bh   bool
+	}{
+		{"none", "none", false},
+		{"graphene", "graphene", false},
+		{"graphene+bh", "graphene", true},
+		{"bh+graphene", "graphene", true},
+		{"BH", "none", true},
+		{"prac+rfm+bh", "prac+rfm", true},
+		{" hydra+breakhammer ", "hydra", true},
+		{"blockhammer", "blockhammer", false},
+	}
+	for _, c := range good {
+		d, err := ParseDefense(c.in)
+		if err != nil {
+			t.Errorf("ParseDefense(%q) errored: %v", c.in, err)
+			continue
+		}
+		if d.Mechanism != c.mech || d.BH != c.bh {
+			t.Errorf("ParseDefense(%q) = %+v, want mech %q bh %v", c.in, d, c.mech, c.bh)
+		}
+	}
+	bad := []struct {
+		in, want string
+	}{
+		{"grapheen+bh", "grapheen"},
+		{"", "empty"},
+		{"graphene++bh", "empty"},
+		{"bh+bh", "duplicate"},
+		{"none+graphene", "stacked"},
+		{"rega+rfm", "stacked"},
+		{"blockhammer+bh", "blockhammer"},
+	}
+	for _, c := range bad {
+		if _, err := ParseDefense(c.in); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseDefense(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestParseDefensesRejectsDuplicates: two spellings of the same defense
+// cannot both enter a grid.
+func TestParseDefensesRejectsDuplicates(t *testing.T) {
+	if _, err := ParseDefenses([]string{"graphene+bh", "bh+graphene"}); err == nil {
+		t.Error("duplicate canonical defense was accepted")
+	}
+	ds, err := ParseDefenses([]string{"graphene", "graphene+bh"})
+	if err != nil || len(ds) != 2 {
+		t.Errorf("distinct defenses rejected: %v %v", ds, err)
+	}
+}
+
+// TestDefenseString: String() round-trips through ParseDefense.
+func TestDefenseString(t *testing.T) {
+	for _, d := range DefaultDefenses() {
+		back, err := ParseDefense(d.String())
+		if err != nil || back != d {
+			t.Errorf("round-trip %+v -> %q -> %+v (%v)", d, d.String(), back, err)
+		}
+	}
+}
+
+// TestMixShape: strategy mixes carry the three benign victims first and
+// only attacker-class strategy threads after them, all strategy specs
+// naming a registered strategy.
+func TestMixShape(t *testing.T) {
+	for _, name := range Strategies() {
+		m, err := Mix(name, 256, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantThreads := 4
+		if name == StrategyDecoy {
+			wantThreads = 5
+		}
+		if len(m.Specs) != wantThreads {
+			t.Errorf("%s mix has %d specs, want %d", name, len(m.Specs), wantThreads)
+		}
+		for i, s := range m.Specs {
+			if i < 3 && !s.Benign() {
+				t.Errorf("%s mix spec %d should be benign", name, i)
+			}
+			if i >= 3 && (s.Benign() || s.Strategy != name) {
+				t.Errorf("%s mix spec %d = %+v, want attacker running %q", name, i, s, name)
+			}
+		}
+		if !m.HasAttacker() {
+			t.Errorf("%s mix reports no attacker", name)
+		}
+	}
+	if _, err := Mix("nosuch", 256, 1); err == nil {
+		t.Error("Mix with unknown strategy did not error")
+	}
+}

@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"fmt"
+
+	"breakhammer/internal/workload"
+)
+
+// The shipped strategy library. Each strategy is a workload.Source built
+// by the registry factory NewSource dispatches to; the adaptive ones also
+// implement workload.FeedbackObserver and adjust what they emit from the
+// per-interval signals the system delivers. Strategy state is a pure
+// function of (spec, thread, feedback sequence), so the determinism
+// contract of the sourcetest harness holds and scenario points
+// content-address like every other point.
+const (
+	// StrategyHammer is the non-adaptive baseline: the paper's §8.1
+	// many-sided hammer as a scenario strategy, anchoring the frontier.
+	StrategyHammer = "hammer"
+	// StrategyProbe hovers under BreakHammer's throttling score: it
+	// hammers until its observed score reaches a headroom fraction of
+	// TH_threat, idles until a window rotation drops the score, and
+	// resumes — trading activation rate for staying unmarked.
+	StrategyProbe = "probe"
+	// StrategyBurst phase-locks many-sided hammering to the refresh
+	// clock: it hammers only during a duty fraction of each refresh-
+	// synchronized period, concentrating activations between refreshes.
+	StrategyBurst = "burst"
+	// StrategyDecoy launders blame onto benign victims: it primes its
+	// aggressor rows to just under the mitigation's trigger threshold in
+	// quick quiet bursts, then releases one crossing per feedback
+	// interval — each preventive action fires when the decoy's own
+	// recent activation share is negligible, so Alg. 1 attributes the
+	// score to the benign threads that were active in the gap.
+	StrategyDecoy = "decoy"
+)
+
+// idleBubbles is the bubble batch an off-duty strategy emits per record,
+// matching the rotation idiom of workload.Spec.RotatePeriod: an idle
+// record burns wall-clock time comparable to a served access.
+const idleBubbles = 64
+
+func init() {
+	workload.RegisterStrategy(StrategyHammer, newHammer)
+	workload.RegisterStrategy(StrategyProbe, newProbe)
+	workload.RegisterStrategy(StrategyBurst, newBurst)
+	workload.RegisterStrategy(StrategyDecoy, newDecoy)
+}
+
+// arg reads a strategy parameter with a default.
+func arg(spec workload.Spec, name string, def float64) float64 {
+	if v, ok := spec.StrategyArgs[name]; ok {
+		return v
+	}
+	return def
+}
+
+// innerGenerator builds the raw many-sided attack generator a strategy
+// modulates: the spec with the strategy fields cleared is a plain
+// synthetic attacker, so aggressor-line construction (LLC-set-colliding
+// rows, bank interleaving) stays in one place.
+func innerGenerator(spec workload.Spec, thread int) *workload.Generator {
+	inner := spec
+	inner.Strategy = ""
+	inner.StrategyArgs = nil
+	inner.Class = workload.Attacker
+	return workload.NewGenerator(inner, thread)
+}
+
+// newHammer builds the non-adaptive baseline strategy.
+func newHammer(spec workload.Spec, thread int) (workload.Source, error) {
+	return innerGenerator(spec, thread), nil
+}
+
+// prober is StrategyProbe's state machine.
+type prober struct {
+	gen       *workload.Generator
+	base      uint64
+	headroom  float64
+	hammering bool
+}
+
+// newProbe builds a threshold-probing attacker. Args: "headroom" — the
+// fraction of TH_threat the observed score may reach before the prober
+// goes quiet (default 0.6, leaving room for the in-flight action train
+// that lands between two feedback deliveries).
+func newProbe(spec workload.Spec, thread int) (workload.Source, error) {
+	h := arg(spec, "headroom", 0.6)
+	if h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("scenario: probe headroom must be in (0,1), got %g", h)
+	}
+	return &prober{
+		gen:       innerGenerator(spec, thread),
+		base:      workload.BaseLine(thread),
+		headroom:  h,
+		hammering: true,
+	}, nil
+}
+
+// ObserveFeedback implements workload.FeedbackObserver: hover under the
+// throttling score. Without BreakHammer (Threat 0) there is nothing to
+// probe and the strategy degenerates to the plain hammer.
+func (p *prober) ObserveFeedback(fb workload.Feedback) {
+	if fb.Threat <= 0 {
+		p.hammering = true
+		return
+	}
+	p.hammering = !fb.Suspect && fb.Score < p.headroom*fb.Threat
+}
+
+// Next implements workload.Source.
+func (p *prober) Next() (int64, uint64, bool) {
+	if p.hammering {
+		return p.gen.Next()
+	}
+	return idleBubbles, p.base, false
+}
+
+// burster is StrategyBurst's state machine.
+type burster struct {
+	gen       *workload.Generator
+	base      uint64
+	period    int64
+	duty      float64
+	hammering bool
+}
+
+// newBurst builds a refresh-synchronized bursting attacker. Args:
+// "period" — the phase period in cycles (default 0 = four refresh
+// intervals, resolved from feedback); "duty" — the fraction of each
+// period spent hammering (default 0.5).
+func newBurst(spec workload.Spec, thread int) (workload.Source, error) {
+	d := arg(spec, "duty", 0.5)
+	if d <= 0 || d >= 1 {
+		return nil, fmt.Errorf("scenario: burst duty must be in (0,1), got %g", d)
+	}
+	return &burster{
+		gen:       innerGenerator(spec, thread),
+		base:      workload.BaseLine(thread),
+		period:    int64(arg(spec, "period", 0)),
+		duty:      d,
+		hammering: true,
+	}, nil
+}
+
+// ObserveFeedback implements workload.FeedbackObserver: hammer while the
+// current cycle's phase within the period falls inside the duty window.
+func (b *burster) ObserveFeedback(fb workload.Feedback) {
+	period := b.period
+	if period <= 0 {
+		period = 4 * fb.RefreshInterval
+	}
+	if period <= 0 {
+		period = 8 * fb.Interval
+	}
+	b.hammering = float64(fb.Cycle%period) < b.duty*float64(period)
+}
+
+// Next implements workload.Source.
+func (b *burster) Next() (int64, uint64, bool) {
+	if b.hammering {
+		return b.gen.Next()
+	}
+	return idleBubbles, b.base, false
+}
+
+// decoyMode enumerates the decoy's phases.
+type decoyMode int
+
+// The decoy cycles prime -> poke -> (re)prime; pause overrides both while
+// its own score is too visible.
+const (
+	decoyPrime decoyMode = iota
+	decoyPoke
+)
+
+// decoy is StrategyDecoy's state machine. It tracks its own per-line
+// activation counts (deterministic round-robin, so the counts mirror a
+// counter-based mitigation's view of its rows) and separates the cost of
+// an action from its attribution: rows are primed to trigger-1 in fast
+// bursts, then single crossing accesses are released one per feedback
+// interval — at which point the decoy's activation share since the last
+// preventive action is negligible and the blame lands on whoever else
+// was active, i.e. the benign victims.
+type decoy struct {
+	gen      *workload.Generator
+	base     uint64
+	lines    []uint64
+	counts   []int
+	target   int // per-line prime target (trigger - 1)
+	headroom float64
+
+	mode    decoyMode
+	paused  bool
+	idx     int // round-robin cursor over lines (prime mode)
+	pokeIdx int // next line to poke
+	canPoke bool
+}
+
+// newDecoy builds a blame-laundering decoy. Args: "trigger" — the
+// modelled per-row preventive-action threshold (required, > 0; the grid
+// passes the Graphene refresh threshold N_RH/4); "headroom" — own-score
+// fraction of TH_threat at which the decoy pauses entirely (default
+// 0.6).
+func newDecoy(spec workload.Spec, thread int) (workload.Source, error) {
+	trigger := int(arg(spec, "trigger", 0))
+	if trigger <= 0 {
+		return nil, fmt.Errorf("scenario: decoy requires a positive \"trigger\" arg (the modelled per-row action threshold)")
+	}
+	h := arg(spec, "headroom", 0.6)
+	if h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("scenario: decoy headroom must be in (0,1), got %g", h)
+	}
+	gen := innerGenerator(spec, thread)
+	lines := gen.AggressorLines()
+	return &decoy{
+		gen:      gen,
+		base:     workload.BaseLine(thread),
+		lines:    lines,
+		counts:   make([]int, len(lines)),
+		target:   trigger - 1,
+		headroom: h,
+	}, nil
+}
+
+// ObserveFeedback implements workload.FeedbackObserver: pause while the
+// decoy's own score is visible, and release at most one crossing per
+// interval once the rows are primed.
+func (d *decoy) ObserveFeedback(fb workload.Feedback) {
+	d.paused = fb.Threat > 0 && (fb.Suspect || fb.Score >= d.headroom*fb.Threat)
+	d.canPoke = !d.paused
+}
+
+// Next implements workload.Source.
+func (d *decoy) Next() (int64, uint64, bool) {
+	if d.paused {
+		return idleBubbles, d.base, false
+	}
+	switch d.mode {
+	case decoyPrime:
+		// Round-robin over the full set keeps every access an LLC miss
+		// (the set has more lines than cache ways); stop each line at
+		// target so nothing crosses during the burst.
+		for range d.lines {
+			i := d.idx
+			d.idx = (d.idx + 1) % len(d.lines)
+			if d.counts[i] < d.target {
+				d.counts[i]++
+				return 0, d.lines[i], false
+			}
+		}
+		// Every line primed: switch to poking, one crossing per interval.
+		d.mode = decoyPoke
+		fallthrough
+	default:
+		if !d.canPoke {
+			return idleBubbles, d.base, false
+		}
+		d.canPoke = false // one poke per feedback interval
+		i := d.pokeIdx
+		d.pokeIdx = (d.pokeIdx + 1) % len(d.lines)
+		d.counts[i] = 0 // the crossing resets the mitigation's counter
+		if d.pokeIdx == 0 {
+			d.mode = decoyPrime // full sweep poked: re-prime the set
+		}
+		return 0, d.lines[i], false
+	}
+}

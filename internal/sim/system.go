@@ -30,7 +30,21 @@ type System struct {
 
 	benign    []bool
 	latencies []*stats.Histogram
+
+	// Adaptive-source feedback: fbObs[i] is non-nil when thread i's
+	// source implements workload.FeedbackObserver (a scenario strategy).
+	// Delivery happens at ticked cycles; fbNext participates in the
+	// skip-ahead wake set, so both simulation loops deliver at identical
+	// cycles and the feedback seam never forks the determinism contract.
+	fbObs  []workload.FeedbackObserver
+	fbNext []int64
+	fbStep []int64
+	hasFb  bool
 }
+
+// defaultFeedbackEvery is the feedback cadence for adaptive sources whose
+// spec leaves FeedbackEvery at 0.
+const defaultFeedbackEvery = 4096
 
 // memPort adapts the LLC to the core's Memory interface.
 type memPort struct {
@@ -182,10 +196,13 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	port := memPort{llc: llc, hitLat: cfg.Cache.HitLatency}
 	s.cores = make([]*cpu.Core, threads)
 	s.benign = make([]bool, threads)
+	s.fbObs = make([]workload.FeedbackObserver, threads)
+	s.fbNext = make([]int64, threads)
+	s.fbStep = make([]int64, threads)
 	for i, spec := range mix.Specs {
 		// NewSource hands trace-backed specs an independent replay cursor
-		// (shared records, private position) and synthetic specs their
-		// generator.
+		// (shared records, private position), scenario specs their
+		// adaptive strategy, and synthetic specs their generator.
 		src, err := workload.NewSource(spec, i)
 		if err != nil {
 			return nil, err
@@ -195,8 +212,55 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 			s.cores[i].SetLoadQuota(s.bh) // §4.4: throttle unresolved loads at the core
 		}
 		s.benign[i] = spec.Benign()
+		if obs, ok := src.(workload.FeedbackObserver); ok {
+			step := spec.FeedbackEvery
+			if step <= 0 {
+				step = defaultFeedbackEvery
+			}
+			s.fbObs[i] = obs
+			s.fbStep[i] = step
+			s.fbNext[i] = step
+			s.hasFb = true
+		}
 	}
 	return s, nil
+}
+
+// deliverFeedback hands each adaptive source its per-thread signal bundle
+// when its cadence expires. It runs at ticked cycles, after the memory
+// side and before the cores, in both simulation loops; the skip-ahead
+// wake set includes every fbNext, so the loops deliver at the same
+// cycles. Delivery mutates only source-internal strategy state — it
+// cannot unblock a stalled core — so it does not count as progress.
+func (s *System) deliverFeedback(cycle int64) {
+	if !s.hasFb {
+		return
+	}
+	for i, obs := range s.fbObs {
+		if obs == nil || cycle < s.fbNext[i] {
+			continue
+		}
+		for s.fbNext[i] <= cycle {
+			s.fbNext[i] += s.fbStep[i]
+		}
+		fb := workload.Feedback{
+			Cycle:           cycle,
+			Interval:        s.fbStep[i],
+			Retired:         s.cores[i].Retired(),
+			IPC:             s.cores[i].IPC(cycle),
+			AvgLatencyNs:    s.latencies[i].Mean(),
+			RefreshInterval: s.cfg.Timing.REFI,
+			RefreshWindow:   s.cfg.Timing.REFW,
+		}
+		if s.bh != nil {
+			fb.Score = s.bh.Score(i)
+			fb.Suspect = s.bh.IsSuspect(i)
+			fb.Quota = s.bh.MSHRQuota(i)
+			fb.FullQuota = s.bh.Params().MSHRs
+			fb.Threat = s.bh.Params().Threat
+		}
+		obs.ObserveFeedback(fb)
+	}
 }
 
 // Memory exposes the multi-channel memory subsystem.
@@ -277,6 +341,7 @@ func (s *System) tickAll(cycle int64) bool {
 	if s.llc.Tick() {
 		progress = true
 	}
+	s.deliverFeedback(cycle)
 	for _, c := range s.cores {
 		if c.Tick(cycle) {
 			progress = true
@@ -333,6 +398,7 @@ func (s *System) runSkipAhead() Result {
 		if s.llc.Tick() {
 			memProgress = true
 		}
+		s.deliverFeedback(cycle)
 		coreProgress := false
 		for i, c := range s.cores {
 			if asleep[i] {
@@ -389,6 +455,13 @@ func (s *System) nextWake(now int64, coreWake []int64) int64 {
 	if s.bh != nil {
 		if w := s.bh.NextWindow(); w > now && w < wake {
 			wake = w
+		}
+	}
+	if s.hasFb {
+		for i, obs := range s.fbObs {
+			if obs != nil && s.fbNext[i] > now && s.fbNext[i] < wake {
+				wake = s.fbNext[i]
+			}
 		}
 	}
 	return wake

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+// gzipBytes compresses data in-memory for the differential fuzz checks.
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recordsEqual compares two decoded record slices.
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecode drives the full decoder — gzip sniffing, comment/blank/CRLF
+// tolerance, dialect auto-detection — with arbitrary input and asserts
+// the invariants the rest of the tree relies on:
+//
+//   - Decode never panics and is deterministic.
+//   - A successful decode yields at least one record with non-negative
+//     bubbles (cores treat bubbles as an instruction count).
+//   - Gzip transparency: compressing the same bytes and decoding again
+//     reproduces the records exactly (or fails exactly when plain-text
+//     decoding fails).
+//   - CRLF transparency: rewriting a well-formed plain-text trace with
+//     Windows line endings does not change its decoding.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("100 0x1f00 R\n5 0x2000 W\n"), int(FormatAuto))
+	f.Add([]byte("0x10 R\n0x20 W\n0x30\n"), int(FormatAuto))
+	f.Add([]byte("# comment\n\n42 12345\n"), int(FormatRamulator))
+	f.Add([]byte("0xdeadbeef\n"), int(FormatAddress))
+	f.Add([]byte("9 0x7fffffffffffffff W\r\n# tail\r\n\r\n"), int(FormatAuto))
+	f.Add([]byte("-1 0x10 R\n"), int(FormatRamulator))
+	f.Add([]byte("18446744073709551616\n"), int(FormatAddress))
+	f.Add([]byte{0x1f, 0x8b, 0x00, 0x00}, int(FormatAuto))
+	f.Fuzz(func(t *testing.T, data []byte, rawFormat int) {
+		format := Format(rawFormat % 3)
+		if format < 0 {
+			format = -format
+		}
+		recs, err := Decode(bytes.NewReader(data), format)
+		again, errAgain := Decode(bytes.NewReader(data), format)
+		if (err == nil) != (errAgain == nil) || !recordsEqual(recs, again) {
+			t.Fatalf("Decode is nondeterministic: (%d recs, %v) vs (%d recs, %v)",
+				len(recs), err, len(again), errAgain)
+		}
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatal("Decode returned no records without an error")
+		}
+		for i, r := range recs {
+			if r.Bubbles < 0 {
+				t.Fatalf("record %d has negative bubbles %d", i, r.Bubbles)
+			}
+		}
+		gzRecs, gzErr := Decode(bytes.NewReader(gzipBytes(t, data)), format)
+		if gzErr != nil {
+			t.Fatalf("plain decode succeeded but gzip decode failed: %v", gzErr)
+		}
+		if !recordsEqual(recs, gzRecs) {
+			t.Fatalf("gzip decode diverged: %d records vs %d plain", len(gzRecs), len(recs))
+		}
+		// CRLF transparency only applies to plain-text input: a payload
+		// that itself decoded as a gzip stream must not be rewritten, and
+		// bare-CR line endings are not in the contract.
+		if !bytes.HasPrefix(data, gzipMagic) && !bytes.Contains(data, []byte{'\r'}) {
+			crlf := bytes.ReplaceAll(data, []byte("\n"), []byte("\r\n"))
+			crlfRecs, crlfErr := Decode(bytes.NewReader(crlf), format)
+			if crlfErr != nil {
+				t.Fatalf("CRLF rewrite broke a well-formed trace: %v", crlfErr)
+			}
+			if !recordsEqual(recs, crlfRecs) {
+				t.Fatalf("CRLF rewrite changed the decoding: %d records vs %d", len(crlfRecs), len(recs))
+			}
+		}
+	})
+}
+
+// FuzzRecordLine fuzzes the per-line parser through single-line inputs
+// in every concrete dialect: it must never panic, never emit negative
+// bubbles, and the auto-detector must always resolve to a dialect that
+// accepts the line it was detected from whenever any dialect does.
+func FuzzRecordLine(f *testing.F) {
+	f.Add("100 0x1f00 R")
+	f.Add("0x1f00 W")
+	f.Add("12345")
+	f.Add("1 2 3 4")
+	f.Add("0X10 r")
+	f.Add("007 0x08 w")
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\r\n") {
+			return // multi-line inputs are FuzzDecode's domain
+		}
+		in := line + "\n"
+		var ok []Format
+		for _, format := range []Format{FormatRamulator, FormatAddress} {
+			recs, err := Decode(strings.NewReader(in), format)
+			if err != nil {
+				continue
+			}
+			if len(recs) != 1 {
+				t.Fatalf("%v decode of one line yielded %d records", format, len(recs))
+			}
+			if recs[0].Bubbles < 0 {
+				t.Fatalf("%v decode produced negative bubbles %d", format, recs[0].Bubbles)
+			}
+			ok = append(ok, format)
+		}
+		auto, autoErr := Decode(strings.NewReader(in), FormatAuto)
+		if len(ok) > 0 && autoErr != nil {
+			t.Fatalf("line parses as %v but auto-detection rejects it: %v", ok, autoErr)
+		}
+		if autoErr == nil && len(ok) == 0 {
+			t.Fatalf("auto-detection accepted a line no concrete dialect accepts: %+v", auto)
+		}
+	})
+}

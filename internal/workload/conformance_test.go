@@ -1,0 +1,43 @@
+package workload_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breakhammer/internal/workload"
+	"breakhammer/internal/workload/sourcetest"
+)
+
+// TestSourceConformance runs the sourcetest harness over every synthetic
+// spec family the package ships: determinism, thread-slice confinement
+// and fingerprint round-trip (see sourcetest.Run). Scenario strategies
+// run the same harness from internal/scenario's tests.
+func TestSourceConformance(t *testing.T) {
+	specs := []workload.Spec{
+		workload.ClassSpec(workload.High, 0, 42),
+		workload.ClassSpec(workload.Medium, 1, 43),
+		workload.ClassSpec(workload.Low, 2, 44),
+		workload.AttackerSpec(3, 45),
+		workload.RotatingAttackerSpec(0, 2, 500, 46),
+		workload.RotatingAttackerSpec(1, 2, 500, 46),
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) { sourcetest.Run(t, spec) })
+	}
+}
+
+// TestTraceSourceConformance runs the harness over a trace-replay spec:
+// replay cursors must confine arbitrary recorded addresses into the
+// bound thread's slice and replay deterministically.
+func TestTraceSourceConformance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conf.trace")
+	// Addresses intentionally span far beyond one thread's slice so the
+	// harness exercises the cursor's confinement rebasing.
+	data := "100 0x10 R\n5 0xdeadbeef000 W\n64 0x7fffffffffff R\n1 0x0 R\n9 0x123456789a W\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sourcetest.Run(t, workload.TraceSpec(path, 0))
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Feedback is the per-thread signal bundle the simulated system delivers
+// to an adaptive source at a fixed cycle cadence (Spec.FeedbackEvery).
+// It is what an attacker running *on* the machine could plausibly learn:
+// its own progress and request latency (timing side channels), plus the
+// throttling state BreakHammer exposes through the optional system-
+// software feedback interface of §4 (score, suspect mark, quota). All
+// BreakHammer fields are zero when BreakHammer is off.
+type Feedback struct {
+	Cycle    int64 // current simulation cycle
+	Interval int64 // delivery cadence in cycles
+
+	Retired      int64   // own instructions retired so far
+	IPC          float64 // own retired instructions per cycle so far
+	AvgLatencyNs float64 // mean memory latency observed by this thread
+
+	Score     float64 // BreakHammer RowHammer-preventive score (active set)
+	Suspect   bool    // currently marked as a suspect
+	Quota     int     // current MSHR quota
+	FullQuota int     // unthrottled MSHR quota
+	Threat    float64 // BreakHammer TH_threat (0 when BreakHammer is off)
+
+	RefreshInterval int64 // tREFI in cycles (refresh command cadence)
+	RefreshWindow   int64 // tREFW in cycles (mitigation counter-reset period)
+}
+
+// FeedbackObserver is implemented by adaptive sources (the scenario
+// strategies): the system calls ObserveFeedback every Spec.FeedbackEvery
+// cycles, and the source may adjust what its subsequent Next calls emit.
+// The determinism contract every Source must satisfy extends naturally:
+// the same spec driven with the same feedback sequence produces the same
+// record stream (the sourcetest conformance harness asserts it).
+type FeedbackObserver interface {
+	ObserveFeedback(fb Feedback)
+}
+
+// StrategyFactory builds the adaptive source for a scenario spec bound to
+// a hardware thread (the thread selects the address-space slice, exactly
+// as for synthetic generators).
+type StrategyFactory func(spec Spec, thread int) (Source, error)
+
+var (
+	strategyMu        sync.RWMutex
+	strategyFactories = map[string]StrategyFactory{}
+)
+
+// RegisterStrategy installs a scenario-strategy factory under a canonical
+// lower-case name. The scenario package registers its library at init
+// time; registering a duplicate name panics (two strategies silently
+// sharing a fingerprint name would poison the results store).
+func RegisterStrategy(name string, f StrategyFactory) {
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategyFactories[name]; dup {
+		panic(fmt.Sprintf("workload: strategy %q registered twice", name))
+	}
+	strategyFactories[name] = f
+}
+
+// StrategyNames returns the registered scenario-strategy names, sorted.
+func StrategyNames() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	names := make([]string, 0, len(strategyFactories))
+	for name := range strategyFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// strategySource builds the source for a spec with Strategy set.
+func strategySource(spec Spec, thread int) (Source, error) {
+	strategyMu.RLock()
+	f, ok := strategyFactories[spec.Strategy]
+	strategyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario strategy %q (is breakhammer/internal/scenario linked in? have: %v)",
+			spec.Strategy, StrategyNames())
+	}
+	return f(spec, thread)
+}

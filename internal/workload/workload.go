@@ -97,6 +97,27 @@ type Spec struct {
 	RotateSlots  int
 	RotateIndex  int
 
+	// Strategy selects an adaptive attacker from the scenario-strategy
+	// registry (see RegisterStrategy; breakhammer/internal/scenario ships
+	// the library) in place of the synthetic model. The name, its args
+	// and the spec's seed all participate in the JSON encoding — and
+	// therefore in sim.Fingerprint — because the strategy's adaptive
+	// state machine is part of what the simulation computes: two points
+	// differing only in a strategy parameter must never share a cache
+	// record.
+	Strategy string `json:",omitempty"`
+
+	// StrategyArgs parameterises the strategy (burst lengths, score
+	// headroom, phase periods). Canonical JSON sorts map keys, so args
+	// fingerprint stably regardless of construction order.
+	StrategyArgs map[string]float64 `json:",omitempty"`
+
+	// FeedbackEvery is the cycle cadence at which the system delivers
+	// Feedback to the spec's source when it implements FeedbackObserver
+	// (0 = the system default). The cadence changes when the strategy
+	// observes — and therefore what it does — so it is part of the key.
+	FeedbackEvery int64 `json:",omitempty"`
+
 	// TraceFile replays a recorded trace (internal/trace formats) in
 	// place of the synthetic model: NewSource hands each core an
 	// independent cursor over the file's records, rebased into the
@@ -238,8 +259,9 @@ type Source interface {
 }
 
 // NewSource builds the instruction source for a spec bound to a hardware
-// thread: an independent replay cursor over the spec's trace file when
-// TraceFile is set (confined and rebased into the thread's address-space
+// thread: an adaptive scenario strategy when Strategy names one (see
+// RegisterStrategy), an independent replay cursor over the spec's trace
+// file when TraceFile is set (confined and rebased into the thread's address-space
 // slice, so N cores can share one trace without sharing rows or cursor
 // state — real traces carry arbitrary 64-bit addresses that would
 // otherwise alias other threads' rows), and the synthetic Generator
@@ -247,6 +269,9 @@ type Source interface {
 // simulating different bytes under a stale identity would poison every
 // key derived from the spec.
 func NewSource(spec Spec, thread int) (Source, error) {
+	if spec.Strategy != "" {
+		return strategySource(spec, thread)
+	}
 	if spec.TraceFile != "" {
 		t, err := trace.Load(spec.TraceFile)
 		if err != nil {
