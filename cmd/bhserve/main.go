@@ -7,14 +7,23 @@
 // server and the CLI interoperate on one cache directory and one wire
 // format.
 //
+// With -fleet the server additionally coordinates a distributed sweep
+// fleet: it enumerates the listed experiments' points and leases them
+// to remote `bhsweep -worker` processes over /api/fleet (see
+// internal/fleet), collecting validated results into the same store the
+// figures render from.
+//
 // Usage:
 //
 //	bhserve -cache-dir ~/.bhcache                 # serve on :8077
 //	bhserve -cache-dir c -preset quick -jobs 4    # smoke-scale points
 //	bhserve -cache-dir c -preset paper            # paper-scale service
+//	bhserve -cache-dir c -fleet all               # coordinate a sweep fleet
+//	bhsweep -worker http://host:8077              # join it from any box
 //	curl localhost:8077/api/figures               # catalogue + coverage
 //	curl localhost:8077/api/figures/fig8          # figure or 202 ticket
 //	curl -N localhost:8077/api/jobs/job-1/events  # live progress (SSE)
+//	curl localhost:8077/api/fleet                 # fleet status snapshot
 package main
 
 import (
@@ -25,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"breakhammer/internal/exp"
+	"breakhammer/internal/fleet"
 	"breakhammer/internal/results"
 	"breakhammer/internal/serve"
 	"breakhammer/internal/trace"
@@ -54,6 +65,9 @@ func main() {
 		figureJobs = flag.Int("figure-jobs", 2, "figure jobs computed concurrently")
 		compact    = flag.Bool("compact", true, "compact the store's shards at startup (drops superseded records)")
 		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
+
+		fleetFigs = flag.String("fleet", "", "coordinate a distributed sweep fleet for these experiments (comma-separated names or 'all'); `bhsweep -worker <url>` processes join and drain the points")
+		fleetTTL  = flag.Duration("fleet-ttl", 0, "fleet lease TTL: a worker silent this long loses its point to another worker (0 = 2m)")
 	)
 	flag.Parse()
 
@@ -121,6 +135,31 @@ func main() {
 	runner := exp.NewRunnerWithStore(opts, store)
 	runner.SetJobs(*jobs)
 	srv := serve.New(runner, *figureJobs)
+
+	if *fleetFigs != "" {
+		var names []string
+		if *fleetFigs == "all" {
+			for _, e := range exp.Experiments() {
+				names = append(names, e.Name)
+			}
+		} else {
+			for _, f := range strings.Split(*fleetFigs, ",") {
+				name := strings.TrimSpace(f)
+				if _, ok := exp.ExperimentByName(name); !ok {
+					log.Fatalf("unknown experiment %q in -fleet (same catalogue as bhsweep -figs)", name)
+				}
+				names = append(names, name)
+			}
+		}
+		coord, err := fleet.NewCoordinator(runner, names, *fleetTTL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.EnableFleet(coord)
+		st := coord.Status()
+		log.Printf("fleet: coordinating %d point(s) for %s (%d already cached); join with `bhsweep -worker http://<this-host>%s`",
+			st.Total, strings.Join(names, ","), st.Cached, *addr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,12 @@
 // a bhserve instance) sharing one cache directory coordinate through
 // claim files, so a fleet splits a sweep without duplicating points.
 //
+// With -worker, bhsweep instead joins a distributed sweep fleet: it
+// leases configuration points from a `bhserve -fleet` coordinator over
+// HTTP, simulates them locally (reusing its own warm -cache-dir), and
+// submits the results — the sweep's shape comes entirely from the
+// coordinator, so no other sweep flags apply. See internal/fleet.
+//
 // Usage:
 //
 //	bhsweep                            # everything, scaled-down defaults
@@ -20,19 +26,25 @@
 //	bhsweep -cache-dir c -jobs 4 -json # bounded pool, JSON export
 //	bhsweep -cache-dir c -paper        # paper-scale preset (cluster days)
 //	bhsweep -cache-dir c -compact      # maintenance: compact the shards
+//	bhsweep -worker http://host:8077   # join a sweep fleet as a worker
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"breakhammer"
 	"breakhammer/internal/exp"
+	"breakhammer/internal/fleet"
 	"breakhammer/internal/prof"
 	"breakhammer/internal/results"
 	"breakhammer/internal/trace"
@@ -68,6 +80,9 @@ func main() {
 		parallelCh = flag.Bool("parallel-channels", false, "tick each simulation's memory channels on a worker pool (identical results and cache keys; pair with -jobs 1 on dedicated multi-core hosts)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		worker     = flag.String("worker", "", "join the sweep fleet coordinated by the `bhserve -fleet` instance at this URL; only -cache-dir, -worker-name and -progress combine with it")
+		workerName = flag.String("worker-name", "", "worker display name reported to the coordinator (default host-pid)")
 	)
 	flag.Parse()
 
@@ -100,6 +115,25 @@ func main() {
 		}
 		log.Printf("compacted %s: %d shard(s), kept %d record(s), dropped %d superseded line(s)",
 			*cacheDir, res.Shards, res.Kept, res.Dropped)
+		return
+	}
+
+	if *worker != "" {
+		// The coordinator's options define the sweep wholesale: any
+		// sweep-shaping flag alongside -worker would silently not apply,
+		// so reject it loudly instead.
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "worker", "worker-name", "cache-dir", "progress", "cpuprofile", "memprofile":
+			default:
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			log.Fatalf("%s cannot combine with -worker: the coordinator's options define the sweep", strings.Join(bad, ", "))
+		}
+		runFleetWorker(*worker, *workerName, *cacheDir, *progress)
 		return
 	}
 
@@ -207,6 +241,16 @@ func main() {
 		}
 	}
 	if err := runner.Prefetch(runner.PointsFor(names)); err != nil {
+		// A failed sweep still persisted every good point; report each
+		// failure and exit non-zero so scripted sweeps notice.
+		var se *exp.SweepError
+		if errors.As(err, &se) {
+			for _, f := range se.Failures {
+				log.Printf("point failed: %v", f)
+			}
+			log.Fatalf("sweep incomplete: %d of %d point(s) failed (the rest are cached; rerun retries only the failures)",
+				len(se.Failures), se.Total)
+		}
 		log.Fatal(err)
 	}
 	_ = breakhammer.Mechanisms() // façade linkage sanity
@@ -243,5 +287,55 @@ func main() {
 		st := store.Stats()
 		log.Printf("cache %s: %d point(s) simulated this run, %d reused from the cache, %d record(s) written",
 			*cacheDir, runner.Executed(), reusedPoints, st.Written)
+	}
+}
+
+// runFleetWorker joins the fleet at url and loops lease -> simulate ->
+// submit until the coordinator reports the sweep done or the process is
+// interrupted. A first SIGINT/SIGTERM releases the current lease and
+// exits cleanly; a second kills the process.
+func runFleetWorker(url, name, cacheDir string, progress bool) {
+	store, err := results.Open(cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cacheDir == "" {
+		log.Print("no -cache-dir: this worker's local cache lives in memory only and dies with it")
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Restore the default handler right away: shutdown waits for the
+		// in-flight point to drain and its lease to release, so a second
+		// Ctrl-C must kill the process instead of being swallowed.
+		stop()
+	}()
+	logf := func(string, ...any) {}
+	if progress {
+		logf = log.Printf
+	}
+	sum, err := fleet.RunWorker(ctx, fleet.WorkerOptions{
+		URL:   url,
+		Name:  name,
+		Store: store,
+		Logf:  logf,
+	})
+	log.Printf("fleet %s: %d point(s) simulated this run, %d reused from the local cache, %d submitted, %d lease(s) lost, %d failed",
+		url, sum.Simulated, sum.Cached, sum.Completed, sum.Stolen, sum.Failed)
+	switch {
+	case errors.Is(err, context.Canceled):
+		log.Fatal("interrupted before the fleet drained (the lease was released; rerun to continue)")
+	case err != nil:
+		log.Fatal(err)
+	case sum.Failed > 0:
+		log.Fatalf("%d point(s) failed on this worker", sum.Failed)
 	}
 }

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PointError records one configuration point that failed to simulate
+// during a sweep.
+type PointError struct {
+	Point Point
+	Err   error
+}
+
+// Error renders the failed point's label ahead of the cause.
+func (e PointError) Error() string { return fmt.Sprintf("%v: %v", e.Point, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e PointError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every point failure of a Prefetch. The sweep
+// does not abort on the first failure: the remaining points still run
+// and persist, so a rerun only retries the failed ones. Callers that
+// need per-point detail unwrap with errors.As:
+//
+//	var se *exp.SweepError
+//	if errors.As(err, &se) { ... se.Failures ... }
+type SweepError struct {
+	Failures []PointError // the failed points, in completion order
+	Total    int          // deduplicated points in the sweep
+}
+
+// Error summarises the failures, one line per failed point.
+func (e *SweepError) Error() string {
+	if len(e.Failures) == 1 {
+		return fmt.Sprintf("exp: 1 of %d point(s) failed: %v", e.Total, e.Failures[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "exp: %d of %d point(s) failed:", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %v", f)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}

@@ -185,9 +185,11 @@ func (r *Runner) PointsFor(names []string) []Point {
 // Prefetch brings every listed point into the store, simulating cache
 // misses in a worker pool bounded by SetJobs that spans points (each
 // point's mixes additionally run in parallel). Completed points persist
-// immediately, so a killed sweep resumes where it died. The first
-// simulation error aborts the remaining points and is returned. Progress
-// streams to the callback installed with SetProgress.
+// immediately, so a killed sweep resumes where it died. A failing point
+// does not abort the others: the sweep runs to the end and the failures
+// come back aggregated as a *SweepError, so a rerun only retries what
+// actually failed. Progress streams to the callback installed with
+// SetProgress.
 //
 // Points are deduplicated by store key, not by Point value, so two
 // spellings of the same simulation (e.g. Fig. 19's TH_threat=32 column
@@ -200,9 +202,11 @@ func (r *Runner) Prefetch(points []Point) error {
 // progress callback (nil falls back to the runner's SetProgress
 // callback). Cancelling ctx stops picking up new points — points already
 // simulating run to completion and persist — and the context error is
-// returned. Per-call progress is what lets one runner serve several
-// concurrent sweeps (bhserve streams each job's events to its own
-// clients).
+// returned. Point failures do not cancel the sweep; they are collected
+// and returned as a *SweepError once every other point has finished
+// (the context error takes precedence when both occur). Per-call
+// progress is what lets one runner serve several concurrent sweeps
+// (bhserve streams each job's events to its own clients).
 func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress ProgressFunc) error {
 	if progress == nil {
 		progress = r.progress
@@ -261,7 +265,7 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 		mu       sync.Mutex
 		done     int
 		pending  = len(missing) // missing points not yet finished
-		firstErr error
+		failures []PointError
 	)
 	total := len(uniq)
 	// emit runs under mu so callers see serialized, ordered events.
@@ -277,7 +281,7 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			mu.Lock()
-			abort := firstErr != nil || ctx.Err() != nil
+			abort := ctx.Err() != nil
 			if !abort {
 				emit(Event{Type: PointStarted, Done: done, Total: total, Point: j.p, Label: j.p.String()})
 			}
@@ -292,8 +296,12 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 			defer mu.Unlock()
 			done++
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+				// Cancellation is the sweep stopping, not the point
+				// failing; it is reported once via the returned ctx.Err().
+				if ctx.Err() == nil {
+					failures = append(failures, PointError{Point: j.p, Err: err})
+					emit(Event{Type: PointFinished, Done: done, Total: total, Point: j.p,
+						Label: j.p.String(), ElapsedNS: elapsed.Nanoseconds(), Error: err.Error()})
 				}
 				return
 			}
@@ -318,8 +326,11 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 		}(j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	return ctx.Err()
+	if len(failures) > 0 {
+		return &SweepError{Failures: failures, Total: total}
+	}
+	return nil
 }

@@ -37,6 +37,10 @@ type Event struct {
 	// from recorded per-point timings; 0 when nothing remains or no
 	// timing data exists yet.
 	EstimateNS int64 `json:"eta_ns,omitempty"`
+	// Error carries the point's failure message (PointFinished only;
+	// empty for successful points). A failed point still counts toward
+	// Done — the sweep presses on and reports the aggregate at the end.
+	Error string `json:"error,omitempty"`
 }
 
 // Elapsed returns the point's wall-clock time as a Duration.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -167,6 +168,54 @@ func TestPrefetchContextCancel(t *testing.T) {
 	}
 	if got := r.Executed(); got != 0 {
 		t.Errorf("cancelled-before-start prefetch simulated %d points", got)
+	}
+}
+
+// TestPrefetchCollectsPointFailures: a failing point must not abort the
+// sweep — the good points still simulate and persist, the failures come
+// back aggregated as a *SweepError, and the failed point's finished
+// event carries the error message.
+func TestPrefetchCollectsPointFailures(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	good := r.PointsFor([]string{"13"})
+	bad := Point{Mech: "bogus", NRH: 128}
+	var events []Event
+	r.SetProgress(func(e Event) { events = append(events, e) })
+	err := r.Prefetch(append([]Point{bad}, good...))
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v (%T), want *SweepError", err, err)
+	}
+	if len(se.Failures) != 1 || se.Total != len(good)+1 {
+		t.Fatalf("SweepError = %d/%d failures, want 1/%d", len(se.Failures), se.Total, len(good)+1)
+	}
+	if se.Failures[0].Point != bad {
+		t.Errorf("failure names %v, want %v", se.Failures[0].Point, bad)
+	}
+	// Every good point simulated and persisted despite the failure.
+	if got, want := r.Executed(), int64(len(good)); got != want {
+		t.Errorf("sweep simulated %d good points, want %d", got, want)
+	}
+	for _, p := range good {
+		key, kerr := r.PointKey(p)
+		if kerr != nil {
+			t.Fatal(kerr)
+		}
+		if !r.Store().Has(key) {
+			t.Errorf("good point %v missing from the store after the failed sweep", p)
+		}
+	}
+	var failedEvents int
+	for _, e := range events {
+		if e.Type == PointFinished && e.Error != "" {
+			failedEvents++
+			if e.Point != bad {
+				t.Errorf("error event names %v, want %v", e.Point, bad)
+			}
+		}
+	}
+	if failedEvents != 1 {
+		t.Errorf("got %d finished events carrying errors, want 1", failedEvents)
 	}
 }
 

@@ -244,6 +244,85 @@ func (r *Runner) claimPollInterval() time.Duration {
 	return 200 * time.Millisecond
 }
 
+// resolvedMixes returns p's mix list with trace content hashes pinned
+// up front: a key derived from the result and a simulation run with the
+// same resolved mixes are guaranteed to describe the same trace bytes.
+// Were the mixes left unresolved, a trace edited between keying and
+// simulating would run the new content yet store it under the old
+// content's key — workload.NewSource verifies the pinned hash against
+// the file at simulation time and fails loudly instead.
+func (r *Runner) resolvedMixes(p Point) ([]workload.Mix, error) {
+	base, err := r.mixesFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return workload.ResolveTraceHashes(base)
+}
+
+// PointKey derives the content address of one configuration point —
+// the exact key pointCtx and ExecutePoint store results under, with
+// trace hashes resolved first. The fleet coordinator leases points by
+// this key and validates submissions against it, so a worker whose
+// derivation disagrees (diverged options, code, or trace content) is
+// rejected instead of poisoning the store.
+func (r *Runner) PointKey(p Point) (string, error) {
+	mixes, err := r.resolvedMixes(p)
+	if err != nil {
+		return "", err
+	}
+	return results.Key(r.configFor(p), mixes)
+}
+
+// ExecutedPoint is the outcome of ExecutePoint.
+type ExecutedPoint struct {
+	Key     string          // the point's content address in the store
+	Results []sim.MixResult // one result per workload mix
+	Cached  bool            // served from the local store without simulating
+	Elapsed time.Duration   // simulation wall-clock (0 when cached)
+}
+
+// ExecutePoint simulates p with pinned trace hashes, serving from and
+// warming the runner's local store. Unlike pointCtx it takes no claim:
+// it exists for fleet workers (breakhammer/internal/fleet), whose
+// exclusivity is the coordinator's lease rather than a claim file, and
+// duplicating a point against an unrelated local sweep stays safe
+// because the store is append-only. The hashes are resolved before the
+// key is derived and the very same resolved mixes are simulated, so a
+// trace edited mid-lease surfaces as a key mismatch at submit or as
+// workload.NewSource's pinned-hash failure — never as a poisoned
+// record.
+func (r *Runner) ExecutePoint(ctx context.Context, p Point) (ExecutedPoint, error) {
+	cfg := r.configFor(p)
+	mixes, err := r.resolvedMixes(p)
+	if err != nil {
+		return ExecutedPoint{}, err
+	}
+	key, err := results.Key(cfg, mixes)
+	if err != nil {
+		return ExecutedPoint{}, err
+	}
+	if rs, ok := r.store.Get(key); ok {
+		return ExecutedPoint{Key: key, Results: rs, Cached: true}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return ExecutedPoint{}, err
+	}
+	start := time.Now()
+	rs, err := sim.RunMixes(cfg, mixes)
+	if err != nil {
+		return ExecutedPoint{}, fmt.Errorf("exp: %v: %w", p, err)
+	}
+	elapsed := time.Since(start)
+	atomic.AddInt64(&r.executed, 1)
+	if err := r.store.Put(key, rs); err != nil {
+		return ExecutedPoint{}, err
+	}
+	if err := r.store.RecordElapsed(key, elapsed); err != nil {
+		return ExecutedPoint{}, err
+	}
+	return ExecutedPoint{Key: key, Results: rs, Elapsed: elapsed}, nil
+}
+
 // pointCtx serves p from the store or simulates and persists it. Before
 // simulating it takes the store's in-flight claim for the point's key,
 // so concurrent sweeps — other goroutines sharing this store, or other
@@ -254,18 +333,7 @@ func (r *Runner) claimPollInterval() time.Duration {
 // store's raw namespace for ETA estimation.
 func (r *Runner) pointCtx(ctx context.Context, p Point) (rs []sim.MixResult, cached bool, err error) {
 	cfg := r.configFor(p)
-	// Resolve trace content hashes once, up front, and simulate with the
-	// resolved mixes: the key below and the simulation must describe the
-	// same trace bytes. Were the mixes left unresolved, a trace edited
-	// while this worker waits out another's claim would simulate the new
-	// content yet store it under the old content's key —
-	// workload.NewSource verifies the pinned hash against the file at
-	// simulation time and fails loudly instead.
-	baseMixes, err := r.mixesFor(p)
-	if err != nil {
-		return nil, false, err
-	}
-	mixes, err := workload.ResolveTraceHashes(baseMixes)
+	mixes, err := r.resolvedMixes(p)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+
+	"breakhammer/internal/exp"
+	"breakhammer/internal/sim"
+)
+
+// ProtocolVersion is the fleet wire-protocol generation. The hello
+// handshake rejects a worker speaking a different generation, so a
+// fleet mixing binaries from before and after a protocol change fails
+// loudly at connect instead of corrupting leases mid-sweep. Bump it
+// when a wire type below changes incompatibly.
+const ProtocolVersion = 1
+
+// DefaultLeaseTTL is how long a granted lease survives without a
+// heartbeat before the coordinator steals the point and re-issues it.
+// Workers heartbeat every TTL/4 (mirroring the claim-file cadence), so
+// the default tolerates three consecutive lost heartbeats. Raise it via
+// bhserve -fleet-ttl for paper-scale points that simulate for hours.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// helloRequest opens a worker's session: the version handshake.
+type helloRequest struct {
+	Worker   string `json:"worker"`   // worker's self-chosen display name
+	Protocol int    `json:"protocol"` // fleet.ProtocolVersion of the worker binary
+	Schema   int    `json:"schema"`   // results.SchemaVersion of the worker binary
+}
+
+// helloResponse accepts the worker and ships the coordinator's resolved
+// experiment options, so workers need no sweep flags of their own: the
+// coordinator's configuration is the fleet's configuration. Trace-backed
+// sweeps additionally require the trace files to be readable on the
+// worker at the same paths — a worker whose trace content diverges
+// derives different store keys and is rejected at submit.
+type helloResponse struct {
+	Protocol int             `json:"protocol"`
+	Schema   int             `json:"schema"`
+	Options  json.RawMessage `json:"options"` // coordinator's exp.Options, JSON-encoded
+}
+
+// leaseRequest asks for the next point. Exactly one of the three
+// leaseResponse shapes comes back: a grant (Token set), a wait (Wait
+// set; retry after Retry), or completion (Done set; the worker exits).
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	Done    bool      `json:"done,omitempty"`     // every point is in the store; stop asking
+	Wait    bool      `json:"wait,omitempty"`     // nothing leasable right now; retry after Retry
+	RetryNS int64     `json:"retry_ns,omitempty"` // suggested wait before the next lease request
+	Token   string    `json:"token,omitempty"`    // lease token; proves ownership to heartbeat/result
+	Point   exp.Point `json:"point,omitempty"`    // the point to simulate
+	Key     string    `json:"key,omitempty"`      // coordinator's store key for the point
+	TTLNS   int64     `json:"ttl_ns,omitempty"`   // lease TTL; heartbeat at TTL/4 or lose the lease
+}
+
+// heartbeatRequest proves the leased point is still being worked on.
+type heartbeatRequest struct {
+	Token string `json:"token"`
+}
+
+// resultRequest submits a finished point. The coordinator re-validates
+// Schema and Key against its own derivation before appending to the
+// authoritative store; a stale Token (the lease was stolen) earns 410.
+type resultRequest struct {
+	Token     string          `json:"token"`
+	Key       string          `json:"key"`    // worker's independently derived store key
+	Schema    int             `json:"schema"` // worker's results.SchemaVersion
+	Cached    bool            `json:"cached"` // served from the worker's warm local store
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Results   []sim.MixResult `json:"results"`
+}
+
+// releaseRequest hands a lease back unfinished (worker shutdown). The
+// point returns to the pending queue without counting as a steal.
+type releaseRequest struct {
+	Token string `json:"token"`
+}
+
+// okResponse acknowledges heartbeat, result, and release.
+type okResponse struct {
+	OK bool `json:"ok"`
+}
+
+// errorResponse is the JSON body of every non-2xx fleet answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}

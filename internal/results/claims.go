@@ -27,7 +27,10 @@ const DefaultClaimTTL = 30 * time.Minute
 // is held, so a point that legitimately simulates for hours is never
 // mistaken for an abandoned one — the staleness test measures time
 // since the last heartbeat, not since the claim was taken. Crashed
-// holders stop heartbeating and their claims expire normally.
+// holders stop heartbeating and their claims expire normally. Remote
+// claims (TryClaimRemote) have no background goroutine: the holder
+// relays a remote worker's heartbeats via Heartbeat instead, which is
+// how the fleet coordinator maps HTTP leases onto this lifecycle.
 type Claim struct {
 	store *Store
 	key   string
@@ -46,6 +49,24 @@ type Claim struct {
 // treated as abandoned and stolen. The caller must Release the claim
 // once the point's record is in the store.
 func (s *Store) TryClaim(key string, ttl time.Duration) (*Claim, error) {
+	return s.tryClaim(key, ttl, true)
+}
+
+// TryClaimRemote is the lease-over-claim adapter behind the fleet
+// coordinator: it takes the same exclusive claim as TryClaim but starts
+// no heartbeat goroutine. The claim's liveness is driven by a remote
+// worker, so the holder must call Heartbeat whenever that worker proves
+// it is still computing — a remote worker that goes silent lets the
+// claim file age out exactly like a crashed local holder's, and other
+// processes sharing the cache directory (or the coordinator itself)
+// steal the key normally.
+func (s *Store) TryClaimRemote(key string, ttl time.Duration) (*Claim, error) {
+	return s.tryClaim(key, ttl, false)
+}
+
+// tryClaim implements TryClaim and TryClaimRemote; autoHeartbeat selects
+// whether a background goroutine keeps the claim file fresh.
+func (s *Store) tryClaim(key string, ttl time.Duration, autoHeartbeat bool) (*Claim, error) {
 	if key == "" {
 		return nil, fmt.Errorf("results: refusing to claim an empty key")
 	}
@@ -71,12 +92,28 @@ func (s *Store) TryClaim(key string, ttl time.Duration) (*Claim, error) {
 			return nil, nil
 		}
 		c.path = path
-		c.stop = make(chan struct{})
-		c.done = make(chan struct{})
-		go c.heartbeat(ttl / 4)
+		if autoHeartbeat {
+			c.stop = make(chan struct{})
+			c.done = make(chan struct{})
+			go c.heartbeat(ttl / 4)
+		}
 	}
 	s.inflight[key] = true
 	return c, nil
+}
+
+// Heartbeat refreshes the claim file's mtime once, on behalf of a
+// remote worker that just proved liveness (see TryClaimRemote).
+// Auto-heartbeat claims from TryClaim never need it; calling it on one,
+// on a memory-only claim, or on a released claim is harmless (refresh
+// errors are ignored for the same reason as in the background
+// heartbeat).
+func (c *Claim) Heartbeat() {
+	if c == nil || c.path == "" {
+		return
+	}
+	now := time.Now()
+	os.Chtimes(c.path, now, now)
 }
 
 // heartbeat refreshes the claim file's mtime on a fixed cadence until

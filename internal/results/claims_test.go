@@ -174,6 +174,76 @@ func TestClaimHeartbeatKeepsClaimFresh(t *testing.T) {
 	c3.Release()
 }
 
+// TestRemoteClaimExpiresWithoutHeartbeat: a remote claim (no background
+// heartbeat goroutine) whose worker goes silent ages out and is stolen
+// by another process after the TTL — the property the fleet coordinator
+// relies on so a crashed worker never strands a point.
+func TestRemoteClaimExpiresWithoutHeartbeat(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ttl = 150 * time.Millisecond
+	c1, err := s1.TryClaimRemote(testKey, ttl)
+	if err != nil || c1 == nil {
+		t.Fatal("remote claim not granted")
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh: respected like any live claim.
+	if c2, err := s2.TryClaim(testKey, ttl); err != nil || c2 != nil {
+		t.Fatal("fresh remote claim was not respected")
+	}
+	time.Sleep(2 * ttl)
+	// No heartbeats arrived: the file aged out and the key is stealable.
+	c3, err := s2.TryClaim(testKey, ttl)
+	if err != nil || c3 == nil {
+		t.Fatal("silent remote claim was not stolen after the TTL")
+	}
+	c3.Release()
+	c1.Release() // releasing the stolen original stays a no-op for the file owner
+}
+
+// TestRemoteClaimHeartbeatKeepsAlive: manual Heartbeat calls substitute
+// for the background goroutine — as long as the (remote) worker keeps
+// proving liveness, the claim is not stealable.
+func TestRemoteClaimHeartbeatKeepsAlive(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ttl = 300 * time.Millisecond
+	c1, err := s1.TryClaimRemote(testKey, ttl)
+	if err != nil || c1 == nil {
+		t.Fatal("remote claim not granted")
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * ttl)
+	for time.Now().Before(deadline) {
+		c1.Heartbeat()
+		if c2, err := s2.TryClaim(testKey, ttl); err != nil {
+			t.Fatal(err)
+		} else if c2 != nil {
+			t.Fatal("heartbeated remote claim was stolen mid-hold")
+		}
+		time.Sleep(ttl / 8)
+	}
+	c1.Release()
+	c3, err := s2.TryClaim(testKey, ttl)
+	if err != nil || c3 == nil {
+		t.Fatal("claim not reacquirable after the remote holder released")
+	}
+	c3.Release()
+	c3.Heartbeat() // harmless on a released claim
+}
+
 // TestLiveClaims: held claims count, released and stale ones don't.
 func TestLiveClaims(t *testing.T) {
 	s, err := Open(t.TempDir())

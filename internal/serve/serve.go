@@ -15,6 +15,10 @@
 //	GET /api/jobs              every job this server started
 //	GET /api/jobs/{id}         one job's status
 //	GET /api/jobs/{id}/events  the job's progress stream (SSE)
+//
+// With EnableFleet the server additionally coordinates a distributed
+// sweep fleet under /api/fleet (see breakhammer/internal/fleet for the
+// lease protocol); the index page then shows fleet-wide progress too.
 package serve
 
 import (
@@ -25,6 +29,7 @@ import (
 	"strings"
 
 	"breakhammer/internal/exp"
+	"breakhammer/internal/fleet"
 )
 
 //go:embed index.html
@@ -36,6 +41,7 @@ type Server struct {
 	runner *exp.Runner
 	mgr    *Manager
 	mux    *http.ServeMux
+	fleet  *fleet.Coordinator // nil unless EnableFleet was called
 }
 
 // New builds a server over the runner, computing at most figureWorkers
@@ -56,8 +62,26 @@ func New(runner *exp.Runner, figureWorkers int) *Server {
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels every background job and waits for them to stop.
-func (s *Server) Close() { s.mgr.Close() }
+// EnableFleet mounts the fleet coordinator's work-queue routes
+// (/api/fleet/...) on the server and ties the coordinator's lifecycle
+// to the server's Close. Call before the server starts listening; the
+// index page detects the routes and shows fleet-wide progress. The
+// coordinator shares the server's runner and store, so figure jobs and
+// fleet workers coordinate through the same claims and a figure request
+// for a fleet-warmed experiment serves without simulating.
+func (s *Server) EnableFleet(c *fleet.Coordinator) {
+	s.fleet = c
+	c.Register(s.mux)
+}
+
+// Close cancels every background job, releases any fleet leases, and
+// waits for everything to stop.
+func (s *Server) Close() {
+	s.mgr.Close()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+}
 
 // FigureID maps an experiment name to its URL id: purely numeric names
 // gain a "fig" prefix ("8" -> "fig8"); the rest (table3, sec5, ...) are
