@@ -432,3 +432,55 @@ func BenchmarkParallelTicking(b *testing.B) {
 		})
 	}
 }
+
+// benchSampledTick times one simulation of the benchChannelTick mix and
+// geometry, exact or under SMARTS interval sampling with the validation
+// harness's window shape (4K warm-up / 12K detail / 134K fast-forward —
+// the shape exp.SamplingValidation and the CI sampling-smoke job use).
+// The exact/sampled ns/op ratio is the sampled-mode speedup; it tracks
+// the duty cycle (detailed cycles per period) because fast-forward
+// replay is nearly free next to detailed ticking. The windows metric
+// counts measured detailed windows — the N behind the 95% confidence
+// bands — so a shape change that silently starves the estimator of
+// windows shows up in the trajectory. cmd/benchjson turns the output of
+// `go test -bench Sampling` into BENCH_sampling.json.
+func benchSampledTick(b *testing.B, sampled bool) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.TargetInsts = 150_000
+	cfg.BHWindow = 400_000
+	cfg.MaxCycles = 60_000_000
+	cfg.Mechanism = "graphene"
+	cfg.NRH = 512
+	cfg.BreakHammer = true
+	if sampled {
+		cfg.Sampling = breakhammer.SamplingParams{
+			Enabled:      true,
+			WarmupCycles: 4_000,
+			DetailCycles: 12_000,
+			FFCycles:     134_000,
+		}
+	}
+	mix, err := workload.ParseMix("HHMMLLLA", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.NewSystem(cfg, mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Run()
+		b.ReportMetric(float64(res.Cycles), "cycles")
+		if res.Sampling != nil {
+			b.ReportMetric(float64(res.Sampling.Windows), "windows")
+		}
+	}
+}
+
+// BenchmarkSampling is the exact-vs-sampled pair the CI bench job and
+// BENCH_sampling.json record; the ns/op ratio is the sampling speedup.
+func BenchmarkSampling(b *testing.B) {
+	b.Run("exact", func(b *testing.B) { benchSampledTick(b, false) })
+	b.Run("sampled", func(b *testing.B) { benchSampledTick(b, true) })
+}

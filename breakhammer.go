@@ -26,6 +26,7 @@ package breakhammer
 import (
 	"breakhammer/internal/core"
 	"breakhammer/internal/exp"
+	"breakhammer/internal/sampling"
 	"breakhammer/internal/security"
 	"breakhammer/internal/sim"
 	"breakhammer/internal/workload"
@@ -48,6 +49,17 @@ type MixResult = sim.MixResult
 
 // Result is the raw per-simulation outcome embedded in MixResult.
 type Result = sim.Result
+
+// SamplingParams configures SMARTS-style interval sampling for one
+// simulation (Config.Sampling). The zero value means exact simulation;
+// Enabled with zero window sizes uses the package defaults. Sampled
+// results carry per-metric confidence bands in MixResult and never
+// share a results-store key with exact ones.
+type SamplingParams = sampling.Params
+
+// SamplingEstimate is a sampled metric estimate: mean, 95% confidence
+// interval, and the number of measured windows behind it.
+type SamplingEstimate = sampling.Estimate
 
 // Experiments regenerates the paper's tables and figures.
 type Experiments = exp.Runner

@@ -59,6 +59,10 @@ func main() {
 		nrhs       = flag.String("nrhs", "", "comma-separated N_RH sweep (empty = preset default)")
 		mechs      = flag.String("mechs", "", "comma-separated mechanisms (empty = preset default)")
 		traces     = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
+		sample     = flag.Bool("sample", false, "SMARTS interval sampling for every simulated point: metrics become estimates with 95% confidence bands; fleet workers inherit this through the hello handshake")
+		warmup     = flag.Int64("warmup", 0, "with -sample: detailed-but-unmeasured warm-up cycles before each measured window (0 = default)")
+		detail     = flag.Int64("detail", 0, "with -sample: measured detailed window length in cycles (0 = default)")
+		ffWin      = flag.Int64("ff", 0, "with -sample: functional fast-forward window length in cycles (0 = default)")
 		strategies = flag.String("strategies", "", "comma-separated adaptive attacker strategies for the scenario figure (default hammer,probe,burst,decoy)")
 		defenses   = flag.String("defenses", "", "comma-separated composed defenses for the scenario figure, e.g. graphene+bh,prac+rfm+bh")
 		jobs       = flag.Int("jobs", 0, "configuration points simulated concurrently per figure job (0 = auto)")
@@ -81,6 +85,11 @@ func main() {
 		Traces:     *traces,
 		Strategies: *strategies,
 		Defenses:   *defenses,
+
+		Sample: *sample,
+		Warmup: *warmup,
+		Detail: *detail,
+		FF:     *ffWin,
 
 		ParallelChannels: *parallelCh,
 	}.Resolve()

@@ -17,6 +17,13 @@
 //	bhsim -mix LLLA -mech blockhammer -nrh 128 -insts 400000
 //	bhsim -mix HHMA -mech rfm -bh -cache-dir ~/.bhcache -json
 //	bhsim -trace spec.trace,gap.trace.gz -attack -mech graphene -bh
+//	bhsim -mix HHMA -mech graphene -bh -sample        # interval sampling
+//	bhsim -mix HHMA -sample -warmup 4000 -detail 12000 -ff 134000
+//
+// With -sample the run fast-forwards most cycles functionally and
+// measures short detailed windows (SMARTS interval sampling): metrics
+// print with 95% confidence bands, and the result is cached under a
+// distinct key so sampled records never impersonate exact ones.
 package main
 
 import (
@@ -48,6 +55,10 @@ func main() {
 		channels   = flag.Int("channels", 1, "memory channels (power of two; each gets its own controller, DRAM device and mechanism instance)")
 		parallelCh = flag.Bool("parallel-channels", false, "tick the memory channels on a worker pool (bit-identical results; wins only with multiple channels and spare cores)")
 		insts      = flag.Int64("insts", 0, "instructions per benign core (0 = FastConfig default)")
+		sample     = flag.Bool("sample", false, "SMARTS interval sampling: fast-forward most of the run functionally, measure short detailed windows, report metrics with 95% confidence bands")
+		warmup     = flag.Int64("warmup", 0, "with -sample: detailed-but-unmeasured warm-up cycles before each measured window (0 = default)")
+		detail     = flag.Int64("detail", 0, "with -sample: measured detailed window length in cycles (0 = default)")
+		ff         = flag.Int64("ff", 0, "with -sample: functional fast-forward window length in cycles (0 = default)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		paper      = flag.Bool("paper", false, "paper-scale configuration (100M instructions, 64 ms window; very slow)")
 		verbose    = flag.Bool("v", false, "print per-thread detail")
@@ -80,6 +91,15 @@ func main() {
 	cfg.Seed = *seed
 	if *insts > 0 {
 		cfg.TargetInsts = *insts
+	}
+	cfg.Sampling = breakhammer.SamplingParams{
+		Enabled:      *sample,
+		WarmupCycles: *warmup,
+		DetailCycles: *detail,
+		FFCycles:     *ff,
+	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	var mix breakhammer.Mix
@@ -151,8 +171,12 @@ func main() {
 		}
 	}
 	fmt.Printf("cycles=%d simulated=%.3f ms\n", res.Cycles, res.Seconds*1e3)
-	fmt.Printf("weighted speedup (benign) = %.4f\n", res.WS)
-	fmt.Printf("unfairness (max benign slowdown) = %.4f\n", res.Unfairness)
+	if s := res.Sampling; s != nil {
+		fmt.Printf("SAMPLED: %d measured windows, %d detailed + %d fast-forwarded cycles — metrics are estimates\n",
+			s.Windows, s.DetailedCycles, s.FFCycles)
+	}
+	fmt.Printf("weighted speedup (benign) = %.4f%s\n", res.WS, bandSuffix(res.WSBand))
+	fmt.Printf("unfairness (max benign slowdown) = %.4f%s\n", res.Unfairness, bandSuffix(res.UnfairnessBand))
 	fmt.Printf("preventive actions = %d\n", res.Actions)
 	fmt.Printf("DRAM energy = %.3f uJ\n", res.EnergyNJ/1e3)
 	fmt.Printf("VRR=%d RFM=%d MIG=%d AUX=%d REF=%d\n",
@@ -174,14 +198,28 @@ func main() {
 			if !res.Benign[tid] {
 				role = "ATTACKER"
 			}
-			fmt.Printf("  t%d %-8s IPC=%.3f insts=%d RBMPKI=%.2f P50=%.0fns P99=%.0fns\n",
-				tid, role, res.IPC[tid], res.Insts[tid], res.RBMPKI[tid],
+			ci := ""
+			if s := res.Sampling; s != nil && tid < len(s.IPC) {
+				ci = fmt.Sprintf(" CI[%.3f,%.3f]", s.IPC[tid].Lo, s.IPC[tid].Hi)
+			}
+			fmt.Printf("  t%d %-8s IPC=%.3f%s insts=%d RBMPKI=%.2f P50=%.0fns P99=%.0fns\n",
+				tid, role, res.IPC[tid], ci, res.Insts[tid], res.RBMPKI[tid],
 				res.Latency[tid].Percentile(50), res.Latency[tid].Percentile(99))
 		}
 	}
 	if !res.BenignFinished {
 		fmt.Fprintln(os.Stderr, "warning: benign cores hit MaxCycles before finishing")
 	}
+}
+
+// bandSuffix renders a sampled metric's 95% confidence interval, or
+// nothing for exact runs (and for sampled metrics whose band would be
+// unbounded, e.g. unfairness when an IPC interval touches zero).
+func bandSuffix(b *breakhammer.SamplingEstimate) string {
+	if b == nil {
+		return ""
+	}
+	return fmt.Sprintf("  (95%% CI [%.4f, %.4f])", b.Lo, b.Hi)
 }
 
 // traceMix builds the trace-driven mix: one benign core per listed file,

@@ -27,6 +27,15 @@
 //	bhsweep -cache-dir c -paper        # paper-scale preset (cluster days)
 //	bhsweep -cache-dir c -compact      # maintenance: compact the shards
 //	bhsweep -worker http://host:8077   # join a sweep fleet as a worker
+//	bhsweep -sample -figs 8,9          # interval sampling: ~5-10x faster,
+//	                                   # metrics carry 95% confidence bands
+//	bhsweep -figs sampling             # sampled-vs-exact accuracy report
+//
+// With -sample every simulated point runs SMARTS interval sampling and
+// caches under keys distinct from exact runs, so sampled and exact
+// populations never mix in a figure. Fleet workers inherit the
+// coordinator's sampling configuration through the hello handshake —
+// -sample is a coordinator-side (bhserve) decision, never a worker flag.
 package main
 
 import (
@@ -55,13 +64,18 @@ func main() {
 	log.SetPrefix("bhsweep: ")
 
 	var (
-		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6,scenarios or 'all'")
+		figs     = flag.String("figs", "all", "comma-separated experiment list: table1,table2,table3,2,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,sec5,sec6,scenarios,sampling or 'all'")
 		mixes    = flag.Int("mixes", 0, "workload mixes per group (0 = preset default; paper: 15)")
 		insts    = flag.Int64("insts", 0, "instructions per benign core (0 = preset default)")
 		channels = flag.Int("channels", 0, "memory channels for every experiment point (power of two; 0 = preset default)")
 		nrhs     = flag.String("nrhs", "", "comma-separated N_RH sweep (default 4096,1024,256,64)")
 		mechs    = flag.String("mechs", "", "comma-separated mechanisms (default: all eight)")
 		traces   = flag.String("traces", "", "comma-separated trace files; point-sweep figures replay them (one benign core per file) instead of the synthetic mixes (table3/sec5 stay synthetic)")
+
+		sample = flag.Bool("sample", false, "SMARTS interval sampling for every simulated point: metrics become estimates with 95% confidence bands, cached under keys distinct from exact runs")
+		warmup = flag.Int64("warmup", 0, "with -sample: detailed-but-unmeasured warm-up cycles before each measured window (0 = default)")
+		detail = flag.Int64("detail", 0, "with -sample: measured detailed window length in cycles (0 = default)")
+		ffWin  = flag.Int64("ff", 0, "with -sample: functional fast-forward window length in cycles (0 = default)")
 
 		scenarios  = flag.Bool("scenarios", false, "run only the adversarial scenario grid (shorthand for -figs scenarios)")
 		strategies = flag.String("strategies", "", "comma-separated adaptive attacker strategies for the scenario grid (default hammer,probe,burst,decoy)")
@@ -155,6 +169,11 @@ func main() {
 		Strategies: *strategies,
 		Defenses:   *defenses,
 
+		Sample: *sample,
+		Warmup: *warmup,
+		Detail: *detail,
+		FF:     *ffWin,
+
 		ParallelChannels: *parallelCh,
 	}.Resolve()
 	if err != nil {
@@ -193,6 +212,9 @@ func main() {
 				suffix = " (cached)"
 			} else {
 				suffix = fmt.Sprintf(" (%.1fs)", e.Elapsed().Seconds())
+			}
+			if e.Sampled {
+				suffix += " (sampled)"
 			}
 			if eta := e.ETA(); eta > 0 {
 				suffix += fmt.Sprintf(" [eta %s]", eta.Round(time.Second))

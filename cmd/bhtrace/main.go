@@ -40,15 +40,16 @@ func main() {
 	log.SetPrefix("bhtrace: ")
 
 	var (
-		class    = flag.String("class", "H", "workload class letter: H, M, L or A")
-		n        = flag.Int("n", 20, "records to dump")
-		seed     = flag.Int64("seed", 1, "trace seed")
-		thread   = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
-		channels = flag.Int("channels", 1, "memory channels for the address decode (power of two)")
-		summary  = flag.Bool("summary", false, "print a characterisation summary instead of records; with trace-file arguments, characterise those files from their registry manifests")
-		samples  = flag.Int("samples", 100000, "accesses to sample for -summary")
-		jsonOut  = flag.Bool("json", false, "emit JSON (one object per record, or one summary object)")
-		genOut   = flag.String("gen", "", "synthesize -n records into this trace file (gzip when the name ends in .gz) and print its manifest")
+		class     = flag.String("class", "H", "workload class letter: H, M, L or A")
+		n         = flag.Int("n", 20, "records to dump")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		thread    = flag.Int("thread", 0, "hardware thread (selects the address-space slice)")
+		channels  = flag.Int("channels", 1, "memory channels for the address decode (power of two)")
+		summary   = flag.Bool("summary", false, "print a characterisation summary instead of records; with trace-file arguments, characterise those files from their registry manifests")
+		samples   = flag.Int("samples", 100000, "accesses to sample for -summary")
+		intervals = flag.Int("intervals", 10, "equal-instruction windows in the -summary phase profile (how MPKI and row pressure drift over the stream; informs sampling window sizes)")
+		jsonOut   = flag.Bool("json", false, "emit JSON (one object per record, or one summary object)")
+		genOut    = flag.String("gen", "", "synthesize -n records into this trace file (gzip when the name ends in .gz) and print its manifest")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 		if *genOut != "" {
 			log.Fatal("-gen cannot be combined with trace-file arguments")
 		}
-		summarizeFiles(flag.Args(), *jsonOut)
+		summarizeFiles(flag.Args(), *jsonOut, *intervals)
 		return
 	}
 	if *genOut != "" && (*summary || *jsonOut) {
@@ -70,6 +71,9 @@ func main() {
 	}
 	if *summary && *samples <= 0 {
 		log.Fatalf("-samples must be positive for -summary, got %d", *samples)
+	}
+	if *summary && *intervals <= 0 {
+		log.Fatalf("-intervals must be positive for -summary, got %d", *intervals)
 	}
 	if len(*class) != 1 {
 		log.Fatalf("-class must be a single letter (H, M, L or A), got %q", *class)
@@ -123,6 +127,10 @@ func main() {
 	chans := map[int]int64{}
 	banks := map[[2]int]int64{}
 	rowACTs := map[[3]int]int64{}
+	// instAt[k] is the cumulative instruction count after access k; the
+	// phase profile below re-buckets it into equal-instruction windows.
+	instAt := make([]int64, 0, *samples)
+	writeAt := make([]bool, 0, *samples)
 	for i := 0; i < *samples; i++ {
 		bubbles, line, write := gen.Next()
 		insts += bubbles + 1
@@ -134,7 +142,10 @@ func main() {
 		chans[a.Channel]++
 		banks[[2]int{a.Channel, a.Bank}]++
 		rowACTs[[3]int{a.Channel, a.Bank, a.Row}]++
+		instAt = append(instAt, insts)
+		writeAt = append(writeAt, write)
 	}
+	phases := phaseProfile(instAt, writeAt, insts, *intervals)
 	var hot64, hot512 int
 	var maxRow int64
 	for _, v := range rowACTs {
@@ -159,6 +170,7 @@ func main() {
 			ChannelsUsed:  len(chans), Channels: *channels,
 			BanksTouched: len(banks), DistinctRows: len(rowACTs),
 			RowsOver64: hot64, RowsOver512: hot512, MaxRowCount: maxRow,
+			PhaseProfile: phases,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -174,16 +186,77 @@ func main() {
 	fmt.Printf("rows >=64 acc   %d\n", hot64)
 	fmt.Printf("rows >=512 acc  %d\n", hot512)
 	fmt.Printf("max row count   %d\n", maxRow)
+	fmt.Printf("phase profile   %d windows of ~%d instructions (MPKI per window)\n",
+		len(phases), insts/int64(len(phases)))
+	for _, ph := range phases {
+		fmt.Printf("  window %2d  insts=%-8d accesses=%-7d MPKI=%-7.1f writes=%.3f\n",
+			ph.Window, ph.Instructions, ph.Accesses, ph.MPKI, ph.WriteFraction)
+	}
+}
+
+// phaseProfile re-buckets the sampled stream into equal-instruction
+// windows: a per-interval view of how access intensity drifts over the
+// stream. A flat profile means short sampling windows already see
+// representative behaviour; a drifting one argues for longer detailed
+// windows (or shorter fast-forwards) so every phase gets measured. The
+// window count is the caller's -intervals.
+func phaseProfile(instAt []int64, writeAt []bool, totalInsts int64, n int) []phaseWindow {
+	if n > len(instAt) && len(instAt) > 0 {
+		n = len(instAt)
+	}
+	if n <= 0 || totalInsts <= 0 {
+		return nil
+	}
+	span := (totalInsts + int64(n) - 1) / int64(n)
+	out := make([]phaseWindow, n)
+	for i := range out {
+		out[i].Window = i
+		out[i].Instructions = span
+	}
+	out[n-1].Instructions = totalInsts - span*int64(n-1)
+	for k, at := range instAt {
+		w := int((at - 1) / span)
+		if w >= n {
+			w = n - 1
+		}
+		out[w].Accesses++
+		if writeAt[k] {
+			out[w].writes++
+		}
+	}
+	for i := range out {
+		if out[i].Instructions > 0 {
+			out[i].MPKI = float64(out[i].Accesses) / float64(out[i].Instructions) * 1000
+		}
+		if out[i].Accesses > 0 {
+			out[i].WriteFraction = float64(out[i].writes) / float64(out[i].Accesses)
+		}
+	}
+	return out
+}
+
+// phaseWindow is one equal-instruction window of the -summary phase
+// profile.
+type phaseWindow struct {
+	Window        int     `json:"window"`
+	Instructions  int64   `json:"instructions"`
+	Accesses      int64   `json:"accesses"`
+	MPKI          float64 `json:"mpki"`
+	WriteFraction float64 `json:"write_fraction"`
+
+	writes int64
 }
 
 // summarizeFiles characterises recorded trace files from their registry
 // manifests: a fresh sidecar costs one stat and a small JSON read; a
 // cold or stale one costs a single streaming pass (which also repairs
-// the sidecar) and never materialises the records. This is the
+// the sidecar). The phase profile needs the record stream itself, so
+// each file is additionally loaded through the shared registry (parsed
+// once, shared with any simulation in the same process). This is the
 // file-level counterpart of the synthetic -class summary, and it prints
 // exactly what simulations will see: the content hash is the identity
 // results-store keys embed.
-func summarizeFiles(paths []string, jsonOut bool) {
+func summarizeFiles(paths []string, jsonOut bool, intervals int) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	for i, path := range paths {
@@ -191,6 +264,19 @@ func summarizeFiles(paths []string, jsonOut bool) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		t, err := trace.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var insts int64
+		instAt := make([]int64, 0, len(t.Records))
+		writeAt := make([]bool, 0, len(t.Records))
+		for _, rec := range t.Records {
+			insts += rec.Bubbles + 1
+			instAt = append(instAt, insts)
+			writeAt = append(writeAt, rec.Write)
+		}
+		phases := phaseProfile(instAt, writeAt, insts, intervals)
 		if jsonOut {
 			if err := enc.Encode(fileSummary{
 				Path: path, Hash: m.Hash, Format: m.Format,
@@ -198,7 +284,8 @@ func summarizeFiles(paths []string, jsonOut bool) {
 				WriteFraction:  writeFraction(m),
 				FootprintLines: m.FootprintLines,
 				Instructions:   m.Instructions(), MPKI: m.MPKI(),
-				SizeBytes: m.Size,
+				SizeBytes:    m.Size,
+				PhaseProfile: phases,
 			}); err != nil {
 				log.Fatal(err)
 			}
@@ -214,6 +301,12 @@ func summarizeFiles(paths []string, jsonOut bool) {
 			m.Records, m.Reads, m.Writes, writeFraction(m))
 		fmt.Printf("instructions    %d per replay loop (MPKI %.1f)\n", m.Instructions(), m.MPKI())
 		fmt.Printf("footprint       %d distinct lines\n", m.FootprintLines)
+		fmt.Printf("phase profile   %d windows of ~%d instructions (MPKI per window)\n",
+			len(phases), insts/int64(len(phases)))
+		for _, ph := range phases {
+			fmt.Printf("  window %2d  insts=%-8d accesses=%-7d MPKI=%-7.1f writes=%.3f\n",
+				ph.Window, ph.Instructions, ph.Accesses, ph.MPKI, ph.WriteFraction)
+		}
 	}
 }
 
@@ -239,6 +332,12 @@ type fileSummary struct {
 	Instructions   int64   `json:"instructions"`
 	MPKI           float64 `json:"mpki"`
 	SizeBytes      int64   `json:"size_bytes"`
+
+	// PhaseProfile splits one replay loop into equal-instruction
+	// windows (-intervals): how MPKI and the write mix drift over the
+	// recorded stream, the view that informs sampling window-size
+	// choices.
+	PhaseProfile []phaseWindow `json:"phase_profile"`
 }
 
 // synthesize writes n generator records to path in the format the trace
@@ -301,4 +400,9 @@ type traceSummary struct {
 	RowsOver64    int     `json:"rows_over_64"`
 	RowsOver512   int     `json:"rows_over_512"`
 	MaxRowCount   int64   `json:"max_row_count"`
+
+	// PhaseProfile splits the sampled stream into equal-instruction
+	// windows (-intervals): how MPKI and the write mix drift over the
+	// stream, the view that informs sampling window-size choices.
+	PhaseProfile []phaseWindow `json:"phase_profile"`
 }

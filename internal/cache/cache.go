@@ -240,6 +240,53 @@ func (l *LLC) Write(lineAddr uint64, thread int) bool {
 	return true
 }
 
+// AccessFunctional performs one timing-free access for the functional
+// fast-forward mode (internal/sim's sampled loop): hits touch LRU (and
+// dirty the line on a store), misses install the line immediately —
+// write-allocate, no MSHR, no backend traffic. When the install evicts
+// a dirty victim the victim's line address is returned so the caller can
+// route the writeback through its functional DRAM row state; nothing is
+// enqueued to the backend. Hit/miss/writeback statistics accumulate in
+// the same counters as the detailed path. The caller guarantees no
+// MSHRs are in flight (the mode-switch drain).
+func (l *LLC) AccessFunctional(lineAddr uint64, thread int, write bool) (hit bool, victim uint64, victimDirty bool) {
+	if ln := l.lookup(lineAddr); ln != nil {
+		l.lruTick++
+		ln.lru = l.lruTick
+		if write {
+			ln.dirty = true
+			l.stats.WriteHits[thread]++
+		} else {
+			l.stats.Hits[thread]++
+		}
+		return true, 0, false
+	}
+	if write {
+		l.stats.WriteMisses[thread]++
+	} else {
+		l.stats.Misses[thread]++
+	}
+	set := l.setOf(lineAddr)
+	victimIdx := 0
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+		if set[i].lru < set[victimIdx].lru {
+			victimIdx = i
+		}
+	}
+	v := &set[victimIdx]
+	if v.valid && v.dirty {
+		victim, victimDirty = v.tag, true
+		l.stats.Writebacks++
+	}
+	l.lruTick++
+	*v = line{tag: lineAddr, valid: true, dirty: write, lru: l.lruTick}
+	return false, victim, victimDirty
+}
+
 // Fill delivers a line from memory: it releases the MSHR, installs the
 // line (possibly evicting a dirty victim), and wakes all waiters.
 func (l *LLC) Fill(lineAddr uint64) {

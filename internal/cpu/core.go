@@ -175,6 +175,46 @@ func (c *Core) NextWake(now int64) int64 {
 	return int64(1) << 62
 }
 
+// FFNext hands the core's next instruction-stream step to a functional
+// fast-forward executor (internal/sim's sampled loop): the bubble count
+// preceding the next memory access, the accessed line, and whether it is
+// a store. A record the detailed loop fetched but had not fully issued
+// is surrendered first (with its remaining bubbles), so switching modes
+// never skips or replays part of the stream.
+func (c *Core) FFNext() (bubbles int64, line uint64, write bool) {
+	if c.pending != nil {
+		b, op := c.bubbles, c.pending
+		c.bubbles, c.pending = 0, nil
+		return b, op.line, op.write
+	}
+	return c.trace.Next()
+}
+
+// CreditRetired credits n instructions retired functionally at cycle
+// now, crossing the finish line if the retire target is reached. The
+// fast-forward executor calls this once per replay step; the detailed
+// loop never does.
+func (c *Core) CreditRetired(n, now int64) {
+	c.stats.Retired += n
+	if c.stats.FinishedAt < 0 && c.stats.Retired >= c.target {
+		c.stats.FinishedAt = now
+	}
+}
+
+// DrainTick retires completed window slots without issuing new work —
+// the detailed-to-fast-forward mode switch runs the memory side until
+// every in-flight access lands while the core only drains. It reports
+// whether anything retired.
+func (c *Core) DrainTick(now int64) bool {
+	before := c.count
+	c.retire(now)
+	return c.count != before
+}
+
+// WindowOccupied reports the instructions currently in the window; the
+// mode-switch drain is complete when every core reaches zero.
+func (c *Core) WindowOccupied() int { return c.count }
+
 func (c *Core) retire(now int64) {
 	for n := 0; n < c.cfg.IssueWidth && c.count > 0; n++ {
 		s := c.window[c.head]

@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{"19", "Figure 19: sensitivity to TH_threat (graphene+BH)", false, (*Runner).Figure19},
 		{"sec5", "Section 5: multi-threaded attack scenarios (graphene+BH)", false, (*Runner).Section5},
 		{"scenarios", "Adversarial scenarios: adaptive strategies vs composed defenses (security/performance frontier)", false, (*Runner).Scenarios},
+		{"sampling", "Sampling validation: sampled vs exact metrics on a pinned mini-grid (error bands, wall-clock speedup)", false, (*Runner).SamplingValidation},
 		{"sec6", "Section 6: hardware complexity", true,
 			func(*Runner) (Table, error) { return Section6(), nil }},
 	}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"breakhammer/internal/sampling"
 	"breakhammer/internal/scenario"
 	"breakhammer/internal/sim"
 )
@@ -43,6 +44,19 @@ type OptionSpec struct {
 	// the serial batch; this is purely an execution-speed knob for
 	// multi-channel points on hosts with spare cores.
 	ParallelChannels bool
+
+	// Sample switches every simulation of the sweep to interval
+	// sampling (sim.Config.Sampling): alternating fast-forwarded and
+	// detailed windows whose measured metrics carry confidence bands.
+	// Unlike ParallelChannels this changes what is simulated — sampled
+	// points key separately in the results store and can never serve an
+	// exact figure. Warmup, Detail and FF override the window sizes in
+	// cycles (0 = the sampling package defaults, sized for paper-scale
+	// runs; CI-scale runs need explicit smaller windows).
+	Sample bool
+	Warmup int64
+	Detail int64
+	FF     int64
 }
 
 // Resolve expands the spec into concrete Options, validating the preset
@@ -113,6 +127,19 @@ func (sp OptionSpec) Resolve() (Options, error) {
 			return Options{}, fmt.Errorf("exp: %w", err)
 		}
 		o.Defenses = ds
+	}
+	if sp.Sample || sp.Warmup != 0 || sp.Detail != 0 || sp.FF != 0 {
+		o.Base.Sampling = sampling.Params{
+			Enabled:      sp.Sample,
+			WarmupCycles: sp.Warmup,
+			DetailCycles: sp.Detail,
+			FFCycles:     sp.FF,
+		}
+		// Surface window errors (sizes without -sample, negative or zero
+		// windows) at flag-resolution time rather than at the first point.
+		if err := o.Base.Sampling.Validate(); err != nil {
+			return Options{}, fmt.Errorf("exp: %w", err)
+		}
 	}
 	return o, nil
 }

@@ -167,6 +167,18 @@ func (r *Runner) PointsFor(names []string) []Point {
 					}
 				}
 			}
+		case "sampling":
+			// Only the exact half of the validation pairs is expressible
+			// as Points (the sampled spelling differs only in
+			// Config.Sampling, which the tuple cannot carry); prefetching
+			// it warms the store records the harness compares against.
+			mechs := o.Mechanisms
+			if len(mechs) > 2 { // the harness caps itself at two mechanisms
+				mechs = mechs[:2]
+			}
+			for _, mech := range mechs {
+				add(Point{Mech: mech, NRH: o.midNRH(), BH: true, Attack: true})
+			}
 		case "scenarios":
 			// The frontier runs at the sweep's lowest (most vulnerable)
 			// threshold: preventive-action dynamics are liveliest there,
@@ -268,8 +280,10 @@ func (r *Runner) PrefetchContext(ctx context.Context, points []Point, progress P
 		failures []PointError
 	)
 	total := len(uniq)
+	sampled := r.opts.Base.Sampling.Enabled
 	// emit runs under mu so callers see serialized, ordered events.
 	emit := func(e Event) {
+		e.Sampled = sampled
 		if progress != nil {
 			progress(e)
 		}

@@ -41,6 +41,10 @@ type Event struct {
 	// empty for successful points). A failed point still counts toward
 	// Done — the sweep presses on and reports the aggregate at the end.
 	Error string `json:"error,omitempty"`
+	// Sampled reports that the point simulates under interval sampling
+	// (the sweep's base configuration has sim.Config.Sampling enabled):
+	// its metrics are estimates with confidence bands, not exact values.
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // Elapsed returns the point's wall-clock time as a Duration.

@@ -422,8 +422,8 @@ func TestCoverage(t *testing.T) {
 // consistent with PointsFor's static/dynamic split.
 func TestExperimentsCatalogue(t *testing.T) {
 	all := Experiments()
-	if len(all) != 22 {
-		t.Fatalf("catalogue holds %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("catalogue holds %d experiments, want 23", len(all))
 	}
 	r := NewRunner(QuickOptions())
 	seen := map[string]bool{}

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"breakhammer/internal/results"
+	"breakhammer/internal/sampling"
+	"breakhammer/internal/sim"
+	"breakhammer/internal/workload"
+)
+
+// samplingRelTolerance is the relative-error floor of the validation
+// verdict: a sampled metric is in band when it lies within the estimate's
+// confidence interval half-width or within this fraction of the exact
+// value, whichever is larger. The floor keeps near-zero half-widths
+// (few, very consistent windows) from flagging sub-percent deviations.
+const samplingRelTolerance = 0.10
+
+// validationParams returns the sampling windows the validation harness
+// runs with: the sweep's own windows when the base configuration samples
+// (the user is validating exactly what their sweep runs), otherwise
+// CI-scale windows sized for the default short runs — the package
+// defaults assume paper-scale multi-million-cycle simulations and would
+// never open a measured window inside a FastConfig run. The fallback
+// shape came out of a sensitivity sweep: warm-ups under ~4K cycles
+// leave the controller queues shallower than steady state under attack
+// and bias latency-bound (low-MPKI) threads high, while periods beyond
+// ~150K cycles starve the run of windows and degenerate the bands.
+func (r *Runner) validationParams() sampling.Params {
+	if r.opts.Base.Sampling.Enabled {
+		return r.opts.Base.Sampling.Normalized()
+	}
+	return sampling.Params{Enabled: true, WarmupCycles: 4_000, DetailCycles: 12_000, FFCycles: 134_000}
+}
+
+// runConfig serves one explicit configuration from the store or
+// simulates and persists it, returning the results and the point's
+// simulation wall-clock (the recorded timing when served warm). It is
+// the claim-free, config-level sibling of ExecutePoint: the validation
+// harness needs both the exact and the sampled spelling of one point,
+// which the Point tuple cannot express.
+func (r *Runner) runConfig(cfg sim.Config, mixes []workload.Mix) ([]sim.MixResult, time.Duration, error) {
+	key, err := results.Key(cfg, mixes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if rs, ok := r.store.Get(key); ok {
+		d, _ := r.store.Elapsed(key)
+		return rs, d, nil
+	}
+	start := time.Now()
+	rs, err := sim.RunMixes(cfg, mixes)
+	if err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	atomic.AddInt64(&r.executed, 1)
+	if err := r.store.Put(key, rs); err != nil {
+		return nil, 0, err
+	}
+	if err := r.store.RecordElapsed(key, elapsed); err != nil {
+		return nil, 0, err
+	}
+	return rs, elapsed, nil
+}
+
+// samplingVerdict renders one metric comparison row: the sampled value
+// is in band when it deviates from the exact value by no more than the
+// confidence half-width or the relative-tolerance floor.
+func samplingVerdict(exact, sampled float64, band *sampling.Estimate) (half string, verdict string) {
+	tol := samplingRelTolerance * abs(exact)
+	half = "-"
+	if band != nil {
+		h := band.HalfWidth()
+		half = f3(h)
+		if h > tol {
+			tol = h
+		}
+	}
+	if abs(sampled-exact) <= tol {
+		return half, "ok"
+	}
+	return half, "OUT"
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SamplingValidation quantifies the accuracy and speedup of interval
+// sampling on a pinned mini-grid: up to two mechanisms (each paired with
+// BreakHammer) at the mid N_RH against the attacker mixes, each point
+// simulated exactly and sampled. Every row compares one benign metric
+// (weighted speedup or unfairness) per mix: exact value, sampled
+// estimate with its 95% confidence half-width, relative error and an
+// in-band verdict; per-point "speedup" rows compare wall-clock. Both
+// sides warm the shared results store — the exact points are the same
+// records the regular figures read — so a warm rerun validates without
+// simulating anything.
+func (r *Runner) SamplingValidation() (Table, error) {
+	o := r.opts
+	mechs := o.Mechanisms
+	if len(mechs) > 2 {
+		mechs = mechs[:2]
+	}
+	params := r.validationParams()
+	t := Table{
+		Title: "Sampling validation: sampled vs exact (mid N_RH, attacker present)",
+		Note: fmt.Sprintf("windows: warmup=%d detail=%d ff=%d cycles; in-band: |sampled-exact| <= max(95%% CI half-width, %.0f%% of exact)",
+			params.WarmupCycles, params.DetailCycles, params.FFCycles, samplingRelTolerance*100),
+		Header: []string{"point", "mix", "metric", "exact", "sampled", "ci±", "rel-err", "verdict"},
+	}
+	for _, mech := range mechs {
+		p := Point{Mech: mech, NRH: o.midNRH(), BH: true, Attack: true}
+		mixes, err := r.resolvedMixes(p)
+		if err != nil {
+			return Table{}, err
+		}
+		exactCfg := r.configFor(p)
+		exactCfg.Sampling = sampling.Params{}
+		sampledCfg := exactCfg
+		sampledCfg.Sampling = params
+
+		exact, exactD, err := r.runConfig(exactCfg, mixes)
+		if err != nil {
+			return Table{}, err
+		}
+		sampled, sampledD, err := r.runConfig(sampledCfg, mixes)
+		if err != nil {
+			return Table{}, err
+		}
+		label := p.String()
+		for i := range exact {
+			mix := exact[i].MixName
+			addMetric := func(name string, ev, sv float64, band *sampling.Estimate) {
+				rel := "-"
+				if ev != 0 {
+					rel = fmt.Sprintf("%.1f%%", 100*abs(sv-ev)/abs(ev))
+				}
+				half, verdict := samplingVerdict(ev, sv, band)
+				t.AddRow(label, mix, name, f3(ev), f3(sv), half, rel, verdict)
+			}
+			addMetric("WS", exact[i].WS, sampled[i].WS, sampled[i].WSBand)
+			addMetric("unfairness", exact[i].Unfairness, sampled[i].Unfairness, sampled[i].UnfairnessBand)
+		}
+		speedup := "-"
+		if sampledD > 0 {
+			speedup = fmt.Sprintf("%.1fx", exactD.Seconds()/sampledD.Seconds())
+		}
+		t.AddRow(label, "(all)", "speedup",
+			fmt.Sprintf("%.2fs", exactD.Seconds()), fmt.Sprintf("%.2fs", sampledD.Seconds()),
+			"-", speedup, "-")
+	}
+	return t, nil
+}

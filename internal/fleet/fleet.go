@@ -80,8 +80,9 @@ type workerStats struct {
 
 // Status is the /api/fleet snapshot.
 type Status struct {
-	Experiments []string     `json:"experiments"` // the sweep's experiment names
-	Total       int          `json:"total"`       // deduplicated points
+	Experiments []string     `json:"experiments"`       // the sweep's experiment names
+	Sampled     bool         `json:"sampled,omitempty"` // the sweep runs interval-sampled (workers inherit via hello)
+	Total       int          `json:"total"`             // deduplicated points
 	Done        int          `json:"done"`
 	Leased      int          `json:"leased"`
 	Pending     int          `json:"pending"`
@@ -530,6 +531,7 @@ func (c *Coordinator) Status() Status {
 	c.expireLocked(now)
 	st := Status{
 		Experiments: append([]string(nil), c.names...),
+		Sampled:     c.runner.Options().Base.Sampling.Enabled,
 		Total:       len(c.points),
 		Done:        c.done,
 		Steals:      c.steals,

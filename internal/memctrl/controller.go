@@ -332,6 +332,24 @@ func (c *Controller) RequestBackoff(bank, nRFM int) {
 // PendingPreventive reports the number of queued preventive actions.
 func (c *Controller) PendingPreventive() int { return c.prevPending }
 
+// SkipTo realigns the periodic-refresh schedule after a functional
+// fast-forward jump (internal/sim's sampled loop): each rank's next
+// refresh deadline advances to its first schedule slot at or after now,
+// preserving the per-rank stagger phase. Without this, the first
+// detailed cycles after a long jump would replay every refresh of the
+// skipped span back to back — wrong in time, and a warm-up distortion.
+// The sampled loop performs the skipped span's refreshes functionally
+// instead (closing its row state every tREFI).
+func (c *Controller) SkipTo(now int64) {
+	refi := c.dev.Timing().REFI
+	for r := range c.nextRef {
+		if c.nextRef[r] < now {
+			behind := (now - c.nextRef[r] + refi - 1) / refi
+			c.nextRef[r] += behind * refi
+		}
+	}
+}
+
 // Tick advances the controller by one command-bus cycle: it delivers
 // completed read data, then issues at most one DRAM command chosen by
 // priority: refresh > preventive actions > demand requests (FR-FCFS+Cap).

@@ -38,6 +38,13 @@ import (
 //
 // Version history:
 //
+//	4: interval-sampled simulation (internal/sampling): sim.Result
+//	   gained the Sampling summary, sim.MixResult the WS/Unfairness
+//	   confidence bands, and records the top-level "sampled" marker.
+//	   Sampling parameters joined sim.Fingerprint, so sampled and exact
+//	   points key separately; the bump retires records whose JSON shape
+//	   predates the marker so an approximate result can never decode
+//	   into — and impersonate — an exact one.
 //	3: BreakHammer stats gained the cumulative AttributedScore blame
 //	   ledger (per-thread, never reset), so stored Result JSON changed
 //	   shape; records written before the ledger existed would silently
@@ -47,7 +54,7 @@ import (
 //	   slightly re-times multi-channel simulations; pre-batch
 //	   multi-channel records are unreproducible and must not be served.
 //	1: initial persistent store.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // Key returns the content address of one experiment point: a hex SHA-256
 // over the schema version and the canonical fingerprint of (config,
@@ -101,6 +108,25 @@ type record struct {
 	Key     string          `json:"key"`
 	Results []sim.MixResult `json:"results,omitempty"`
 	Raw     json.RawMessage `json:"raw,omitempty"`
+
+	// Sampled marks records produced by interval-sampled simulation
+	// (sim.Config.Sampling). The sampling parameters already participate
+	// in the fingerprint — sampled and exact points can never share a
+	// key — so the marker is not what keeps them apart; it makes the
+	// distinction auditable on the shard line itself, without decoding
+	// the embedded results.
+	Sampled bool `json:"sampled,omitempty"`
+}
+
+// sampledResults reports whether any mix result carries a sampling
+// summary; Put stamps the record-level marker from it.
+func sampledResults(rs []sim.MixResult) bool {
+	for _, r := range rs {
+		if r.Sampled() {
+			return true
+		}
+	}
+	return false
 }
 
 // NewMemory returns a store with no backing directory: it behaves exactly
@@ -319,7 +345,8 @@ func (s *Store) Put(key string, rs []sim.MixResult) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem[key] = rs
-	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Results: rs})
+	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Results: rs,
+		Sampled: sampledResults(rs)})
 }
 
 // GetRaw returns the raw record stored under key, if any. Raw records

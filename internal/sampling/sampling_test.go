@@ -1,0 +1,145 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalized(t *testing.T) {
+	if got := (Params{}).Normalized(); got != (Params{}) {
+		t.Errorf("disabled Normalized = %+v, want zero", got)
+	}
+	// Disabled params with stray fields still collapse to zero: exact
+	// fingerprints must not depend on leftover window sizes.
+	if got := (Params{WarmupCycles: 7}).Normalized(); got != (Params{}) {
+		t.Errorf("disabled Normalized with stray field = %+v, want zero", got)
+	}
+	got := Params{Enabled: true}.Normalized()
+	want := Params{Enabled: true, WarmupCycles: DefaultWarmupCycles, DetailCycles: DefaultDetailCycles, FFCycles: DefaultFFCycles}
+	if got != want {
+		t.Errorf("enabled Normalized = %+v, want %+v", got, want)
+	}
+	got = Params{Enabled: true, DetailCycles: 123}.Normalized()
+	if got.DetailCycles != 123 || got.WarmupCycles != DefaultWarmupCycles {
+		t.Errorf("partial Normalized = %+v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, ok := range []Params{
+		{},
+		{Enabled: true},
+		{Enabled: true, WarmupCycles: 1, DetailCycles: 2, FFCycles: 3},
+	} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []Params{
+		{WarmupCycles: 10},                // sizes without -sample
+		{Enabled: true, DetailCycles: -1}, // negative
+		{Enabled: true, FFCycles: -5},     // negative
+		{Enabled: true, WarmupCycles: -1}, // negative
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+}
+
+func TestPhaseSchedule(t *testing.T) {
+	p := Params{Enabled: true, WarmupCycles: 10, DetailCycles: 20, FFCycles: 70}
+	period := p.Period()
+	if period != 100 {
+		t.Fatalf("Period = %d, want 100", period)
+	}
+	cases := []struct {
+		cycle int64
+		phase Phase
+		next  int64
+	}{
+		{0, PhaseWarmup, 10},
+		{9, PhaseWarmup, 10},
+		{10, PhaseDetail, 30},
+		{29, PhaseDetail, 30},
+		{30, PhaseFF, 100},
+		{99, PhaseFF, 100},
+		{100, PhaseWarmup, 110},
+		{250, PhaseFF, 300}, // third period, pos 50 >= warm+detail 30
+	}
+	for _, tc := range cases {
+		ph, next := p.PhaseAt(tc.cycle)
+		if ph != tc.phase || next != tc.next {
+			t.Errorf("PhaseAt(%d) = (%v, %d), want (%v, %d)", tc.cycle, ph, next, tc.phase, tc.next)
+		}
+	}
+	// The schedule is a pure function: every cycle maps to exactly one
+	// phase and next is strictly ahead.
+	for c := int64(0); c < 3*period; c++ {
+		ph, next := p.PhaseAt(c)
+		if next <= c {
+			t.Fatalf("PhaseAt(%d): next %d not ahead", c, next)
+		}
+		if ph2, _ := p.PhaseAt(next - 1); ph2 != ph {
+			t.Fatalf("phase changed before boundary: cycle %d is %v, cycle %d is %v", c, ph, next-1, ph2)
+		}
+		if next < 3*period {
+			if ph2, _ := p.PhaseAt(next); ph2 == ph && next%period != 0 {
+				t.Fatalf("boundary %d did not change phase from %v", next, ph)
+			}
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseFF.String() != "ff" || PhaseWarmup.String() != "warmup" || PhaseDetail.String() != "detail" {
+		t.Error("phase names changed")
+	}
+	if Phase(9).String() != "phase(9)" {
+		t.Errorf("unknown phase = %q", Phase(9).String())
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator(2)
+	if a.Windows() != 0 {
+		t.Fatalf("fresh aggregator Windows = %d", a.Windows())
+	}
+	a.AddWindow([]float64{1, 4}, []float64{10, 40})
+	a.AddWindow([]float64{3, 6}, []float64{30, 60})
+	a.AddWindow([]float64{2, 5}, []float64{20, 50})
+	s := a.Summary()
+	if s.Windows != 3 {
+		t.Fatalf("Windows = %d, want 3", s.Windows)
+	}
+	if len(s.IPC) != 2 || len(s.RBMPKI) != 2 {
+		t.Fatalf("estimate widths = %d/%d", len(s.IPC), len(s.RBMPKI))
+	}
+	if s.IPC[0].Mean != 2 || s.IPC[1].Mean != 5 {
+		t.Errorf("IPC means = %g, %g", s.IPC[0].Mean, s.IPC[1].Mean)
+	}
+	if s.RBMPKI[0].Mean != 20 || s.RBMPKI[1].Mean != 50 {
+		t.Errorf("RBMPKI means = %g, %g", s.RBMPKI[0].Mean, s.RBMPKI[1].Mean)
+	}
+	// 95% t-CI of {1,2,3}: mean 2, half-width t(0.95,2)*stderr =
+	// 4.303 * (1/sqrt(3)) = 2.484.
+	e := s.IPC[0]
+	if math.Abs(e.HalfWidth()-4.303/math.Sqrt(3)) > 1e-3 {
+		t.Errorf("half-width = %g", e.HalfWidth())
+	}
+	if e.N != 3 {
+		t.Errorf("estimate N = %d", e.N)
+	}
+	if e.Lo > e.Mean || e.Hi < e.Mean {
+		t.Errorf("band (%g, %g) excludes mean %g", e.Lo, e.Hi, e.Mean)
+	}
+}
+
+func TestAggregatorWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched window width should panic")
+		}
+	}()
+	NewAggregator(2).AddWindow([]float64{1}, []float64{1})
+}

@@ -11,6 +11,7 @@ import (
 	"breakhammer/internal/cpu"
 	"breakhammer/internal/dram"
 	"breakhammer/internal/memctrl"
+	"breakhammer/internal/sampling"
 )
 
 // Config describes one simulation.
@@ -67,6 +68,13 @@ type Config struct {
 	BHWindow  int64   // throttling window in cycles; 0 = 64 ms
 	BHThreat  float64 // 0 = 32
 	BHOutlier float64 // 0 = 0.65
+
+	// Sampling enables SMARTS-style interval sampling: long functional
+	// fast-forward windows alternate with short detailed windows and
+	// every reported metric carries a confidence interval. Sampling
+	// changes what is simulated, so it participates in Fingerprint —
+	// sampled and exact results can never share a store key.
+	Sampling sampling.Params
 
 	TargetInsts int64 // instructions each benign core must retire
 	MaxCycles   int64 // hard simulation cap
@@ -145,6 +153,9 @@ func (c Config) Validate() error {
 	}
 	if c.Channels > 0 && c.Channels&(c.Channels-1) != 0 {
 		return fmt.Errorf("sim: Channels must be a power of two, got %d", c.Channels)
+	}
+	if err := c.Sampling.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

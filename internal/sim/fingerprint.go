@@ -51,6 +51,12 @@ func (c Config) normalizedForFingerprint() Config {
 	if c.RowPressFactor <= 1 {
 		c.RowPressFactor = 1
 	}
+	// Disabled sampling collapses to the zero value (exact fingerprints
+	// stay stable if the sampling defaults ever change); enabled sampling
+	// resolves its window defaults, so "enabled with defaults" and the
+	// explicit spelling of the same windows share a key — while sampled
+	// and exact configurations never can.
+	c.Sampling = c.Sampling.Normalized()
 	return c
 }
 

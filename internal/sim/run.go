@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"breakhammer/internal/sampling"
 	"breakhammer/internal/stats"
 	"breakhammer/internal/workload"
 )
@@ -32,13 +33,21 @@ func aloneKey(cfg Config, spec workload.Spec) string {
 	c.RowPressFactor = 0
 	c.ThrottleAt = ""
 	c.BHWindow, c.BHThreat, c.BHOutlier = 0, 0, 0
-	c.Seed = 0                 // the trace stream is seeded by spec.Seed, not cfg.Seed
-	c.ParallelChannels = false // execution strategy; results are identical
+	c.Seed = 0                     // the trace stream is seeded by spec.Seed, not cfg.Seed
+	c.ParallelChannels = false     // execution strategy; results are identical
+	c.Sampling = sampling.Params{} // alone baselines always run exact (see AloneIPC)
 	return fmt.Sprintf("%+v|%+v", c, spec)
 }
 
 // AloneIPC returns the IPC of a spec running alone on the system with no
 // mitigation — the denominator of weighted speedup and maximum slowdown.
+// The baseline always runs exact, even under a sampled configuration: it
+// is the shared denominator of every ratio metric, so sampling it would
+// inject an independent estimation bias into both the sampled and the
+// exact spelling of a point (a sampled alone IPC measures only post-
+// warm-up steady state and overestimates a short run's true mean,
+// inflating every slowdown). Alone runs are single-core and memoized
+// across the sweep, so the exactness costs one short run per spec.
 func AloneIPC(cfg Config, spec workload.Spec) (float64, error) {
 	key := aloneKey(cfg, spec)
 	if v, ok := aloneCache.Load(key); ok {
@@ -47,6 +56,7 @@ func AloneIPC(cfg Config, spec workload.Spec) (float64, error) {
 	c := cfg
 	c.Mechanism = "none"
 	c.BreakHammer = false
+	c.Sampling = sampling.Params{}
 	sys, err := NewSystem(c, workload.Mix{Name: "alone-" + spec.Name, Specs: []workload.Spec{spec}})
 	if err != nil {
 		return 0, err
@@ -62,6 +72,14 @@ type MixResult struct {
 	Result
 	WS         float64 // weighted speedup over benign applications
 	Unfairness float64 // maximum slowdown on a benign application
+
+	// WSBand and UnfairnessBand carry 95% confidence bands for sampled
+	// runs (nil for exact runs), propagated from the per-thread IPC
+	// intervals against the alone-mode baselines' means. UnfairnessBand
+	// is omitted when any interval's low edge touches zero (the
+	// slowdown bound would be unbounded).
+	WSBand         *sampling.Estimate `json:",omitempty"`
+	UnfairnessBand *sampling.Estimate `json:",omitempty"`
 }
 
 // RunMix builds and runs one simulation of the mix under cfg and computes
@@ -85,11 +103,49 @@ func RunMix(cfg Config, mix workload.Mix) (MixResult, error) {
 		}
 		alone[i] = a
 	}
-	return MixResult{
+	mr := MixResult{
 		Result:     res,
 		WS:         stats.WeightedSpeedup(res.IPC, alone, res.Benign),
 		Unfairness: stats.MaxSlowdown(res.IPC, alone, res.Benign),
-	}, nil
+	}
+	if res.Sampling != nil && res.Sampling.Windows > 0 {
+		mr.WSBand, mr.UnfairnessBand = metricBands(res.Sampling, alone, res.Benign, mr.WS, mr.Unfairness)
+	}
+	return mr, nil
+}
+
+// metricBands propagates the per-thread sampled IPC intervals into
+// weighted-speedup and unfairness bands. The alone baselines enter as
+// point values: when the configuration samples, the alone runs sampled
+// too, so their window noise partially cancels; the residual is part of
+// what exp.SamplingValidation quantifies.
+func metricBands(sum *sampling.Summary, alone []float64, benign []bool, ws, unf float64) (wsBand, unfBand *sampling.Estimate) {
+	var wsLo, wsHi float64
+	unfLo, unfHi := 0.0, 0.0
+	unfOK := true
+	for i, est := range sum.IPC {
+		if !benign[i] || alone[i] <= 0 {
+			continue
+		}
+		wsLo += est.Lo / alone[i]
+		wsHi += est.Hi / alone[i]
+		if est.Lo <= 0 {
+			unfOK = false
+			continue
+		}
+		// Slowdown is anti-monotone in IPC: the band flips.
+		if s := alone[i] / est.Hi; s > unfLo {
+			unfLo = s
+		}
+		if s := alone[i] / est.Lo; s > unfHi {
+			unfHi = s
+		}
+	}
+	wsBand = &sampling.Estimate{Mean: ws, Lo: wsLo, Hi: wsHi, N: sum.Windows}
+	if unfOK {
+		unfBand = &sampling.Estimate{Mean: unf, Lo: unfLo, Hi: unfHi, N: sum.Windows}
+	}
+	return wsBand, unfBand
 }
 
 // RunMixes runs one configuration across many mixes in parallel and

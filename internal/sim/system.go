@@ -9,6 +9,7 @@ import (
 	"breakhammer/internal/memctrl"
 	"breakhammer/internal/memsys"
 	"breakhammer/internal/mitigation"
+	"breakhammer/internal/sampling"
 	"breakhammer/internal/stats"
 	"breakhammer/internal/workload"
 )
@@ -40,6 +41,12 @@ type System struct {
 	fbNext []int64
 	fbStep []int64
 	hasFb  bool
+
+	// ffIssuers wraps each channel's preventive-action issuer when
+	// interval sampling is configured: detailed windows forward to the
+	// controller, fast-forward windows resolve actions functionally
+	// (see sampled.go). Empty for exact runs.
+	ffIssuers []*switchIssuer
 }
 
 // defaultFeedbackEvery is the feedback cadence for adaptive sources whose
@@ -155,6 +162,16 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 	// channel's memory controller owns its own mitigation hardware.
 	var blockers []*mitigation.BlockHammer
 	for ch := 0; ch < mem.Channels(); ch++ {
+		// Under interval sampling the issuer is switchable: fast-forward
+		// windows must not enqueue preventive commands into a controller
+		// that is not ticking (the queue would never drain), so the
+		// wrapper resolves them functionally instead.
+		var issuer mitigation.Issuer = mem.Channel(ch)
+		if cfg.Sampling.Enabled {
+			si := &switchIssuer{fwd: mem.Channel(ch), ch: ch}
+			s.ffIssuers = append(s.ffIssuers, si)
+			issuer = si
+		}
 		mech, err := mitigation.New(cfg.Mechanism, mitigation.Params{
 			NRH:         cfg.effectiveNRH(),
 			BlastRadius: cfg.BlastRadius,
@@ -165,7 +182,7 @@ func NewSystem(cfg Config, mix workload.Mix) (*System, error) {
 			REFI:        timing.REFI,
 			RC:          timing.RC,
 			Seed:        cfg.Seed + int64(ch)*0x9e3779b9,
-		}, mem.Channel(ch), obs)
+		}, issuer, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -312,8 +329,20 @@ type Result struct {
 	CacheStats cache.Stats
 	BH         *core.Stats // nil when BreakHammer is off
 
+	// Sampling is non-nil exactly when the run used interval sampling:
+	// it carries the per-thread error bands and the detailed/fast-
+	// forward cycle split. For sampled runs IPC and RBMPKI above hold
+	// the window means (Sampling holds their confidence intervals),
+	// EnergyNJ is extrapolated from the detailed windows, and MC /
+	// CacheStats / Latency count detailed-mode events only.
+	Sampling *sampling.Summary
+
 	BenignFinished bool // all benign cores reached the target
 }
+
+// Sampled reports whether this result came from interval sampling and
+// therefore approximates the exact simulation.
+func (r Result) Sampled() bool { return r.Sampling != nil }
 
 // Run executes the simulation until every benign core retires the target
 // instruction count (attacker cores are not waited for, matching §7's
@@ -327,6 +356,9 @@ func (s *System) Run() Result {
 	// once the simulation is over; rerunning a closed system falls back
 	// to the serial batch with identical results.
 	defer s.mem.Close()
+	if s.cfg.Sampling.Enabled {
+		return s.runSampled()
+	}
 	if s.everyCycle {
 		return s.runEveryCycle()
 	}

@@ -1,0 +1,128 @@
+package stats
+
+import "math"
+
+// Welford accumulates a streaming mean and variance using Welford's
+// online algorithm: numerically stable, O(1) memory, no stored samples.
+// The zero value is ready to use. It backs interval sampling
+// (internal/sampling), where each detailed window contributes one
+// per-metric sample and the run reports mean ± confidence interval.
+// Not safe for concurrent use; callers serialize.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the current mean (0 before any sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean (0 with fewer than two
+// samples).
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI returns the mean and a two-sided confidence interval at the given
+// level (0.95 or 0.99) using the Student's t distribution with n-1
+// degrees of freedom. With fewer than two samples the band collapses to
+// the mean itself — the caller sees a zero-width interval, not a fake
+// tight one, and N() exposes how thin the evidence is.
+func (w *Welford) CI(level float64) (mean, lo, hi float64) {
+	mean = w.mean
+	if w.n < 2 {
+		return mean, mean, mean
+	}
+	h := TInv(level, w.n-1) * w.StdErr()
+	return mean, mean - h, mean + h
+}
+
+// tTable holds two-sided Student's t critical values at the listed
+// degrees of freedom (standard statistical-table values). Rows beyond
+// df=120 are served by the normal approximation.
+var tTableDF = []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 40, 60, 120}
+
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	2.021, 2.000, 1.980,
+}
+
+var tTable99 = []float64{
+	63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+	3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+	2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+	2.704, 2.660, 2.617,
+}
+
+// TInv returns the two-sided Student's t critical value for the given
+// confidence level and degrees of freedom. Levels 0.95 and 0.99 use
+// exact table values (linearly interpolated between tabulated df);
+// other levels and df > 120 fall back to the normal quantile, which is
+// within ~1% of t beyond df≈120.
+func TInv(level float64, df int64) float64 {
+	if df < 1 {
+		df = 1
+	}
+	var table []float64
+	switch level {
+	case 0.95:
+		table = tTable95
+	case 0.99:
+		table = tTable99
+	default:
+		return normInv(level)
+	}
+	if df > tTableDF[len(tTableDF)-1] {
+		return normInv(level)
+	}
+	for i, d := range tTableDF {
+		if df == d {
+			return table[i]
+		}
+		if df < d {
+			// df falls between tabulated rows (only possible in the
+			// 30..120 stretch): interpolate linearly on df.
+			lo, hi := tTableDF[i-1], d
+			frac := float64(df-lo) / float64(hi-lo)
+			return table[i-1]*(1-frac) + table[i]*frac
+		}
+	}
+	return normInv(level)
+}
+
+// normInv returns the two-sided standard-normal critical value for the
+// given confidence level, via the inverse error function.
+func normInv(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		return 0
+	}
+	return math.Sqrt2 * math.Erfinv(level)
+}
