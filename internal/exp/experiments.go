@@ -169,8 +169,65 @@ func (r *Runner) rawCoverage(label string, cfg sim.Config) (cached, total int, e
 		r.rawKeys[label] = key
 	}
 	r.keyMu.Unlock()
-	if r.store.HasRaw(key) {
+	// The memoized key is the generation-independent base; the store's
+	// current generation is applied at query time so coverage tracks
+	// invalidations without dropping the memo.
+	gen, err := r.store.Generation(r.cacheTTL)
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.store.HasRaw(genKey(key, gen)) {
 		return 1, 1, nil
 	}
 	return 0, 1, nil
+}
+
+// PointCoverage is one entry of the per-point coverage listing behind
+// bhserve's paginated coverage endpoint: the point's human-readable
+// label, its content address in the store, and whether the store
+// already holds it.
+type PointCoverage struct {
+	Label  string `json:"label"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+}
+
+// PointCoverageFor enumerates the named experiment's points in their
+// stable sweep order with per-point cache status. Instrumented
+// raw-table experiments (Table 3, Section 5) report their single
+// rendered table; static experiments report an empty list. The keys
+// are memoized exactly like Coverage's, and the cache-status probe
+// goes through the store's key index, so a large catalogue page costs
+// one index lookup per row.
+func (r *Runner) PointCoverageFor(name string) ([]PointCoverage, error) {
+	switch name {
+	case "table3":
+		return r.rawPointCoverage("table3", r.opts.Base)
+	case "sec5":
+		return r.rawPointCoverage("sec5", r.section5Config())
+	}
+	keys, err := r.experimentKeys(name)
+	if err != nil {
+		return nil, err
+	}
+	points := r.PointsFor([]string{name})
+	out := make([]PointCoverage, 0, len(keys))
+	for i, key := range keys {
+		label := key[:12]
+		if i < len(points) {
+			label = points[i].String()
+		}
+		out = append(out, PointCoverage{Label: label, Key: key, Cached: r.store.Has(key)})
+	}
+	return out, nil
+}
+
+// rawPointCoverage is PointCoverageFor for the single-table
+// instrumented experiments.
+func (r *Runner) rawPointCoverage(label string, cfg sim.Config) ([]PointCoverage, error) {
+	key, err := r.tableKey(label, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []PointCoverage{{Label: label, Key: key, Cached: r.store.HasRaw(key)}}, nil
 }

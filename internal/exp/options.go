@@ -73,6 +73,17 @@ func (sp OptionSpec) Resolve() (Options, error) {
 	default:
 		return Options{}, fmt.Errorf("exp: unknown preset %q (want default, quick or paper)", sp.Preset)
 	}
+	return sp.ApplyTo(o)
+}
+
+// ApplyTo resolves the spec's overrides onto an existing options value
+// instead of a named preset — the parsing and validation are exactly
+// Resolve's. bhserve resolves POST-parameterized figure requests
+// through it, applying a request's sweep subsets (N_RH values,
+// mechanisms, strategies, defenses) over the server's base options so
+// request-derived points key identically to a CLI sweep with the same
+// flags. The Preset field is ignored here; the base is o.
+func (sp OptionSpec) ApplyTo(o Options) (Options, error) {
 	if sp.Mixes < 0 {
 		return Options{}, fmt.Errorf("exp: mixes must be positive, got %d", sp.Mixes)
 	}
@@ -87,7 +98,10 @@ func (sp OptionSpec) Resolve() (Options, error) {
 		o.Base.TargetInsts = sp.Insts
 	}
 	if sp.NRHs != "" {
-		o.NRHs = o.NRHs[:0]
+		// Fresh slices, not o.NRHs[:0]: the base options may be shared (a
+		// server resolving a request over its live sweep options), and
+		// truncate-and-append would scribble on the caller's array.
+		o.NRHs = nil
 		for _, s := range strings.Split(sp.NRHs, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || v <= 0 {
@@ -97,12 +111,13 @@ func (sp OptionSpec) Resolve() (Options, error) {
 		}
 	}
 	if sp.Mechanisms != "" {
-		o.Mechanisms = o.Mechanisms[:0]
+		o.Mechanisms = nil
 		for _, m := range strings.Split(sp.Mechanisms, ",") {
 			o.Mechanisms = append(o.Mechanisms, strings.TrimSpace(m))
 		}
 	}
 	if sp.Traces != "" {
+		o.Traces = append([]string(nil), o.Traces...)
 		for _, t := range strings.Split(sp.Traces, ",") {
 			t = strings.TrimSpace(t)
 			if t == "" {
@@ -112,7 +127,7 @@ func (sp OptionSpec) Resolve() (Options, error) {
 		}
 	}
 	if sp.Strategies != "" {
-		o.Strategies = o.Strategies[:0]
+		o.Strategies = nil
 		for _, s := range strings.Split(sp.Strategies, ",") {
 			s = strings.TrimSpace(s)
 			if err := scenario.ValidStrategy(s); err != nil {

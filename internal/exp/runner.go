@@ -128,6 +128,7 @@ type Runner struct {
 	progress  ProgressFunc
 	claimTTL  time.Duration // 0 = results.DefaultClaimTTL
 	claimPoll time.Duration // 0 = default; how often a waiter re-probes a claimed key
+	cacheTTL  time.Duration // 0 = raw tables never expire; >0 TTLs the cache generation
 	executed  int64         // simulation points actually run (not served from the store)
 
 	// keyMu guards the memoized content-key lists behind Coverage. Keys
@@ -187,6 +188,29 @@ func (r *Runner) SetProgress(f ProgressFunc) { r.progress = f }
 // restores results.DefaultClaimTTL). Raise it for paper-scale points
 // that legitimately simulate for hours.
 func (r *Runner) SetClaimTTL(d time.Duration) { r.claimTTL = d }
+
+// SetCacheTTL bounds how long rendered raw tables stay served before
+// the store's cache generation lazily advances and they recompute
+// (<= 0, the default, means they never expire). Simulation-point
+// records are exact and content-addressed, so they are never subject
+// to the TTL — only derived tables are.
+func (r *Runner) SetCacheTTL(d time.Duration) { r.cacheTTL = d }
+
+// WithOptions returns a runner over the same store (and therefore the
+// same claims, generation, and warm records) but resolving a different
+// option set. bhserve derives one per POST-parameterized figure
+// request: the derived runner re-keys its points from its own options,
+// while every key it derives that the base sweep already computed is
+// served warm from the shared store.
+func (r *Runner) WithOptions(opts Options) *Runner {
+	nr := NewRunnerWithStore(opts, r.store)
+	nr.jobs = r.jobs
+	nr.progress = r.progress
+	nr.claimTTL = r.claimTTL
+	nr.claimPoll = r.claimPoll
+	nr.cacheTTL = r.cacheTTL
+	return nr
+}
 
 // Executed returns how many configuration points this runner actually
 // simulated (cache misses). A fully warm sweep reports zero.
@@ -394,7 +418,7 @@ func (r *Runner) pointCtx(ctx context.Context, p Point) (rs []sim.MixResult, cac
 // these without simulating. An unparseable stored table falls through to
 // a rebuild that supersedes it.
 func (r *Runner) cachedTable(label string, cfg sim.Config, build func() (Table, error)) (Table, error) {
-	key, err := rawTableKey(label, cfg)
+	key, err := r.tableKey(label, cfg)
 	if err != nil {
 		return Table{}, err
 	}
@@ -420,13 +444,40 @@ func (r *Runner) cachedTable(label string, cfg sim.Config, build func() (Table, 
 
 // rawTableKey addresses an instrumented experiment's rendered table in
 // the store's raw namespace: the content address of its configuration
-// plus the experiment label.
+// plus the experiment label. It is the generation-independent base;
+// tableKey applies the store's cache generation on top.
 func rawTableKey(label string, cfg sim.Config) (string, error) {
 	key, err := results.Key(cfg, nil)
 	if err != nil {
 		return "", err
 	}
 	return key + "-" + label, nil
+}
+
+// tableKey is rawTableKey with the store's current cache generation
+// joined in. Generation zero — a store that has never been invalidated
+// and runs without a TTL — keeps the historical un-suffixed key, so
+// caches warmed before generations existed stay warm. Any later
+// generation suffixes the key, orphaning every table of the previous
+// generation at once; the orphans recompute lazily on next use.
+func (r *Runner) tableKey(label string, cfg sim.Config) (string, error) {
+	base, err := rawTableKey(label, cfg)
+	if err != nil {
+		return "", err
+	}
+	gen, err := r.store.Generation(r.cacheTTL)
+	if err != nil {
+		return "", err
+	}
+	return genKey(base, gen), nil
+}
+
+// genKey suffixes a raw-table base key with a non-zero generation.
+func genKey(base string, gen uint64) string {
+	if gen == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s-gen%d", base, gen)
 }
 
 // Table3 is the orchestrated form of the package-level Table3: identical

@@ -151,6 +151,12 @@ func NewCoordinator(runner *exp.Runner, names []string, ttl time.Duration) (*Coo
 		doneCh:  make(chan struct{}),
 	}
 	store := runner.Store()
+	// One index sync picks up records appended by other processes since
+	// the store opened; the pre-mark pass below is then pure index
+	// lookups — no per-key shard scans.
+	if err := store.SyncIndex(); err != nil {
+		return nil, fmt.Errorf("fleet: syncing store index: %w", err)
+	}
 	seen := map[string]bool{}
 	for _, p := range runner.PointsFor(names) {
 		key, err := runner.PointKey(p)
@@ -364,14 +370,20 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	ws := c.touchWorkerLocked(req.Worker)
 	c.expireLocked(now)
 	store := c.runner.Store()
+	// A local sweep sharing the cache directory may have finished points
+	// since enumeration. One incremental index sync per lease request
+	// observes anything appended since the last one — shards that have
+	// not grown cost a stat and zero reads — and the per-point promotion
+	// below is then a pure index lookup, where this loop used to rescan
+	// the pending point's whole shard per point per request. Best-effort:
+	// a sync error degrades to leasing a point another process finished,
+	// which the worker's own warm-store check resolves.
+	_ = store.SyncIndex()
 	for _, fp := range c.points {
 		if fp.state != statePending {
 			continue
 		}
-		// A local sweep sharing the cache directory may have finished the
-		// point since enumeration; a disk re-probe promotes it without a
-		// lease, exactly like pointCtx's post-claim re-check.
-		if _, ok := store.Reload(fp.key); ok {
+		if store.Has(fp.key) {
 			c.markDoneLocked(fp, "", true, 0)
 			continue
 		}

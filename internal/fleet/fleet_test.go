@@ -476,3 +476,52 @@ func TestReleaseRequeues(t *testing.T) {
 		t.Errorf("re-lease got token %q (previous %q), want a fresh grant", again.Token, lease.Token)
 	}
 }
+
+// TestWarmCoordinatorZeroShardReads is the regression pin for the fleet
+// half of the store-index fix: building a coordinator over an
+// already-complete store pre-marks every point through the index and
+// performs zero shard-content reads, and lease requests against the
+// warm store stay read-free too.
+func TestWarmCoordinatorZeroShardReads(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	names := []string{"fig13"}
+
+	// Warm the store by simulating the figure's points in-process.
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := exp.NewRunnerWithStore(opts, store)
+	if err := warm.Prefetch(warm.PointsFor(names)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh coordinator over the same directory loads everything at
+	// Open; pre-marking must come from the index, not from shard scans.
+	c, runner := newCoordinator(t, dir, opts, names, time.Minute)
+	st := c.Status()
+	if st.Cached != st.Total || st.Done != st.Total {
+		t.Fatalf("warm coordinator: %d/%d cached, want all", st.Cached, st.Total)
+	}
+	if got := runner.Store().Stats().ShardReads; got != 0 {
+		t.Fatalf("warm coordinator start performed %d shard reads, want 0", got)
+	}
+
+	// Lease requests on the warm (and quiescent) store: the per-request
+	// index sync stats the shards and reads nothing.
+	srv := serveCoordinator(t, c)
+	status, body := post(t, srv.URL+"/api/fleet/hello", helloRequest{
+		Worker: "w1", Protocol: ProtocolVersion, Schema: results.SchemaVersion,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("hello: HTTP %d: %s", status, body)
+	}
+	status, _ = post(t, srv.URL+"/api/fleet/lease", leaseRequest{Worker: "w1"})
+	if status != http.StatusOK && status != http.StatusNoContent {
+		t.Fatalf("lease: HTTP %d", status)
+	}
+	if got := runner.Store().Stats().ShardReads; got != 0 {
+		t.Fatalf("lease against warm store performed %d shard reads, want 0", got)
+	}
+}

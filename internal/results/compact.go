@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 )
 
 // CompactResult summarizes one compaction pass.
@@ -62,49 +63,84 @@ func (s *Store) Compact() (CompactResult, error) {
 			if err := os.Remove(shard); err != nil {
 				return res, fmt.Errorf("results: %w", err)
 			}
+			delete(s.shardOff, shard)
+			delete(s.shardIdent, shard)
 			res.Shards++
 			res.Dropped += existing
 			continue
 		}
-		if err := rewriteShard(shard, live); err != nil {
+		size, err := rewriteShard(shard, live)
+		if err != nil {
 			return res, err
+		}
+		// Every record just written came from this store's memory, so the
+		// whole rewritten file is already indexed: advance the high-water
+		// mark to its size — and record the rewritten file's identity, so
+		// this handle's next sync does not mistake its own compaction for
+		// a foreign rewrite. Other handles see the identity change and
+		// re-read from zero.
+		s.shardOff[shard] = size
+		if ident, err := os.Stat(shard); err == nil {
+			s.shardIdent[shard] = ident
+		} else {
+			delete(s.shardIdent, shard)
 		}
 		res.Shards++
 		res.Kept += int64(len(live))
 		res.Dropped += existing - int64(len(live))
 	}
+	if res.Shards > 0 {
+		s.bumpCompactEpochLocked()
+	}
 	return res, nil
 }
 
+// bumpCompactEpochLocked advances the compact-epoch marker so every
+// other handle on this directory invalidates its shard offsets and
+// re-reads (see compactEpochFile). This handle adopts the new epoch
+// directly: its own offsets describe the files it just wrote. The write
+// is best-effort — a torn or failed marker reads as "changed", which
+// degrades to other handles re-reading, never to missed records.
+func (s *Store) bumpCompactEpochLocked() {
+	n, _ := strconv.ParseInt(readCompactEpoch(s.dir), 10, 64)
+	epoch := strconv.FormatInt(n+1, 10)
+	if err := os.WriteFile(filepath.Join(s.dir, compactEpochFile), []byte(epoch), 0o644); err == nil {
+		s.compactEpoch = epoch
+	}
+}
+
 // rewriteShard atomically replaces one shard file with the given records
-// via a temp file and rename.
-func rewriteShard(shard string, recs []record) error {
+// via a temp file and rename, returning the rewritten file's size so the
+// caller can advance the shard's index high-water mark.
+func rewriteShard(shard string, recs []record) (int64, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(shard), filepath.Base(shard)+".compact-*")
 	if err != nil {
-		return fmt.Errorf("results: %w", err)
+		return 0, fmt.Errorf("results: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var size int64
 	w := bufio.NewWriter(tmp)
 	for _, rec := range recs {
 		line, err := json.Marshal(rec)
 		if err != nil {
 			tmp.Close()
-			return fmt.Errorf("results: %w", err)
+			return 0, fmt.Errorf("results: %w", err)
 		}
 		w.Write(line)
 		w.WriteByte('\n')
+		size += int64(len(line)) + 1
 	}
 	if err := w.Flush(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("results: %w", err)
+		return 0, fmt.Errorf("results: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("results: %w", err)
+		return 0, fmt.Errorf("results: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), shard); err != nil {
-		return fmt.Errorf("results: %w", err)
+		return 0, fmt.Errorf("results: %w", err)
 	}
-	return nil
+	return size, nil
 }
 
 // countLines counts newline-terminated (and trailing unterminated) lines.

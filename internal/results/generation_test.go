@@ -1,0 +1,100 @@
+package results
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock returns an adjustable clock function plus its advance knob.
+func fakeClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	cur := start
+	return func() time.Time { return cur }, func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestGenerationNoTTL(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 3; i++ {
+		gen, err := s.Generation(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != 0 {
+			t.Fatalf("generation without TTL = %d, want 0 forever", gen)
+		}
+	}
+	if s.HasRaw(GenerationKey) {
+		t.Fatal("Generation(0) persisted a record; TTL-less queries must not write")
+	}
+}
+
+func TestGenerationTTLExpiry(t *testing.T) {
+	s := NewMemory()
+	clock, advance := fakeClock(time.Unix(1000, 0))
+	s.SetClock(clock)
+	const ttl = time.Hour
+
+	// First query under a TTL stamps the birth but stays at gen 0, so
+	// pre-existing unsuffixed warm tables remain reachable.
+	if gen, _ := s.Generation(ttl); gen != 0 {
+		t.Fatalf("first TTL query = gen %d, want 0", gen)
+	}
+	advance(ttl - time.Second)
+	if gen, _ := s.Generation(ttl); gen != 0 {
+		t.Fatalf("within TTL = gen %d, want 0", gen)
+	}
+	advance(2 * time.Second) // past the TTL
+	if gen, _ := s.Generation(ttl); gen != 1 {
+		t.Fatal("TTL elapsed but generation did not advance")
+	}
+	// Expiry measures from the new birth: no immediate re-advance.
+	if gen, _ := s.Generation(ttl); gen != 1 {
+		t.Fatal("generation advanced twice for one expiry")
+	}
+	advance(ttl + time.Second)
+	if gen, _ := s.Generation(ttl); gen != 2 {
+		t.Fatal("second TTL expiry did not advance the generation")
+	}
+}
+
+func TestBumpGenerationPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		gen, err := s.BumpGeneration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != want {
+			t.Fatalf("BumpGeneration = %d, want %d", gen, want)
+		}
+	}
+	// A restarted process resumes the bumped generation instead of
+	// resurrecting invalidated tables at gen 0.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, _ := s2.Generation(0); gen != 3 {
+		t.Fatalf("reopened store at generation %d, want 3", gen)
+	}
+}
+
+func TestGenerationLeavesPointsAlone(t *testing.T) {
+	s := NewMemory()
+	key := idxKey(1)
+	if err := s.Put(key, sampleResults(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BumpGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("bumping the generation must never invalidate simulation points")
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("point record lost after generation bump")
+	}
+}

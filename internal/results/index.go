@@ -1,0 +1,238 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file implements the store's in-memory key index: a compact set of
+// the keys present in each namespace (simulation points and raw records)
+// plus a per-shard high-water mark of how many bytes have already been
+// indexed. Membership queries — Has, HasRaw, Coverage — read only the
+// index, and observing records appended by other processes costs a stat
+// per shard plus a read of the appended tail, never a rescan of bytes
+// already seen. The index is derived state: it never participates in a
+// record's key or fingerprint, so SchemaVersion is unaffected.
+//
+// Invariants (all under s.mu):
+//
+//   - idxPoints = keys(s.mem) and idxRaw = keys(s.rawMem): every loaded,
+//     put or synced record registers its key; Reset clears both.
+//   - shardOff[path] counts bytes of complete (newline-terminated) lines
+//     already indexed from path. A torn trailing line is left unconsumed
+//     and re-read on the next sync, after its writer finishes it.
+//   - shardIdent[path] is the file identity (os.SameFile) observed when
+//     shardOff[path] was recorded. Compaction replaces a shard via temp
+//     file + rename, so a rewrite by any process changes the identity;
+//     a sync that sees a different file at the same path resets the
+//     offset to zero and re-reads the shard in full — re-indexing is
+//     idempotent. Byte offsets alone cannot detect this: a rewritten
+//     shard can be longer than a handle's offset while holding entirely
+//     different bytes below it.
+//
+// After Reset the store has explicitly invalidated everything on disk,
+// so syncs are disabled (s.reset) and the index reflects only records
+// put since.
+
+// compactEpochFile is a marker in the cache directory whose content
+// changes on every compaction. File identity (inode) alone cannot prove
+// a shard was not rewritten: a later compaction's temp file can reuse
+// the inode an earlier shard generation freed, making the replacement
+// invisible to os.SameFile. The epoch breaks that ABA — any handle that
+// sees the marker change throws away all of its offsets and re-reads.
+const compactEpochFile = "compact-epoch"
+
+// readCompactEpoch returns the marker's content, or "" if absent or
+// unreadable (both mean "no compaction observed yet").
+func readCompactEpoch(dir string) string {
+	b, err := os.ReadFile(filepath.Join(dir, compactEpochFile))
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// checkEpochLocked compares the on-disk compaction epoch with the one
+// the offsets were recorded under and, on mismatch, invalidates every
+// shard offset so the next syncs re-read in full. The caller holds s.mu.
+func (s *Store) checkEpochLocked() {
+	epoch := readCompactEpoch(s.dir)
+	if epoch == s.compactEpoch {
+		return
+	}
+	s.shardOff = make(map[string]int64)
+	s.shardIdent = make(map[string]os.FileInfo)
+	s.compactEpoch = epoch
+}
+
+// indexLocked registers one record's key. The caller holds s.mu.
+func (s *Store) indexLocked(rec record) {
+	switch {
+	case rec.Raw != nil:
+		s.idxRaw[rec.Key] = struct{}{}
+	case rec.Results != nil:
+		s.idxPoints[rec.Key] = struct{}{}
+	}
+}
+
+// scanShardFrom reads path from byte offset off, invoking fn for every
+// complete newline-terminated line, and returns the offset just past the
+// last complete line consumed plus the identity of the file actually
+// read (from the open descriptor, so a rename racing the scan cannot
+// attribute these bytes to the wrong file). A final unterminated line (a
+// concurrent writer's torn append) is not consumed: the returned offset
+// stops before it, so the next scan picks the line up once its newline
+// lands.
+func scanShardFrom(path string, off int64, fn func(line []byte)) (int64, os.FileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return off, nil, err
+	}
+	defer f.Close()
+	ident, err := f.Stat()
+	if err != nil {
+		return off, nil, err
+	}
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return off, ident, err
+		}
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			off += int64(len(line))
+			fn(line)
+			continue
+		}
+		if err == io.EOF {
+			return off, ident, nil // an unterminated tail stays unconsumed
+		}
+		return off, ident, err
+	}
+}
+
+// syncShardLocked brings the index (and the in-memory record cache) up to
+// date with one shard file, reading only bytes appended since the shard
+// was last indexed. Records already present in memory are NOT overwritten:
+// once this store has loaded or computed a record, its own copy is
+// authoritative for its lifetime (the same contract Get and Reload have
+// always had). The caller holds s.mu.
+func (s *Store) syncShardLocked(path string) error {
+	if s.dir == "" || s.reset {
+		return nil
+	}
+	s.checkEpochLocked()
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		delete(s.shardOff, path)
+		delete(s.shardIdent, path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	off := s.shardOff[path]
+	// A compaction (by any process) replaces the shard via rename: the
+	// path now names a different file whose bytes below our offset are
+	// not the ones we indexed. Detect it by identity, not size — a
+	// rewritten shard can be longer than our offset.
+	if prev, ok := s.shardIdent[path]; ok && !os.SameFile(prev, st) {
+		off = 0
+	}
+	if st.Size() < off {
+		off = 0 // truncated underneath us
+	}
+	if st.Size() == off {
+		s.shardIdent[path] = st
+		return nil // fully indexed: zero reads
+	}
+	s.shardReads++
+	// Collect the tail first so that several new records for one key keep
+	// shard last-wins semantics among themselves before the fill-if-absent
+	// merge into memory.
+	fresh := make(map[string]record)
+	newOff, ident, err := scanShardFrom(path, off, func(line []byte) {
+		var rec record
+		if json.Unmarshal(line, &rec) != nil || rec.Schema != SchemaVersion || rec.Key == "" {
+			return
+		}
+		if rec.Raw == nil && rec.Results == nil {
+			return
+		}
+		fresh[rec.Key] = rec
+	})
+	if err != nil {
+		return err
+	}
+	if !os.SameFile(ident, st) {
+		// The shard was replaced between the stat and the open: the scan
+		// ran against the new file from an offset computed for the old
+		// one. Discard it and start over from zero next sync.
+		delete(s.shardOff, path)
+		delete(s.shardIdent, path)
+		return nil
+	}
+	s.shardOff[path] = newOff
+	s.shardIdent[path] = ident
+	for key, rec := range fresh {
+		switch {
+		case rec.Raw != nil:
+			if _, ok := s.rawMem[key]; !ok {
+				s.rawMem[key] = rec.Raw
+			}
+		case rec.Results != nil:
+			if _, ok := s.mem[key]; !ok {
+				s.mem[key] = rec.Results
+			}
+		}
+		s.indexLocked(rec)
+	}
+	return nil
+}
+
+// SyncIndex brings the index up to date with every shard on disk in one
+// pass, picking up records appended by other processes sharing the cache
+// directory. Shards that have not grown since they were last indexed
+// cost a stat each and zero reads, so polling SyncIndex on a quiescent
+// store is cheap at any store size. Memory-only and Reset stores are
+// no-ops (Reset explicitly invalidated the disk for this store).
+func (s *Store) SyncIndex() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" || s.reset {
+		return nil
+	}
+	shards, err := filepath.Glob(filepath.Join(s.dir, "shard-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(shards)
+	for _, shard := range shards {
+		if err := s.syncShardLocked(shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RawKeys returns every raw-namespace key with the given prefix, sorted.
+// It is how bhserve enumerates its durable job tickets at startup; pass
+// "" for every raw key.
+func (s *Store) RawKeys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.idxRaw {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

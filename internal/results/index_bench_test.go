@@ -1,0 +1,135 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// synthesizeShards writes n minimal point records straight into shard
+// files — no simulation, no Store — and returns the keys. The records
+// are the smallest shape loadShard accepts, so a 100k-record store
+// builds in well under a second.
+func synthesizeShards(b *testing.B, dir string, n int) []string {
+	b.Helper()
+	type minMix struct {
+		MixName string `json:"mix_name"`
+	}
+	writers := map[string]*bufio.Writer{}
+	files := map[string]*os.File{}
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+		keys[i] = key
+		shard := filepath.Join(dir, "shard-"+key[:2]+".jsonl")
+		w, ok := writers[shard]
+		if !ok {
+			f, err := os.OpenFile(shard, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			files[shard] = f
+			w = bufio.NewWriterSize(f, 1<<20)
+			writers[shard] = w
+		}
+		line, err := json.Marshal(struct {
+			Schema  int      `json:"schema"`
+			Key     string   `json:"key"`
+			Results []minMix `json:"results"`
+		}{Schema: SchemaVersion, Key: key, Results: []minMix{{MixName: "m"}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	for shard, w := range writers {
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		files[shard].Close()
+	}
+	return keys
+}
+
+// scanCoverage is the pre-index baseline: answer a coverage query by
+// linearly re-reading every shard and counting key membership — what a
+// store without the in-memory index has to do to see other processes'
+// writes.
+func scanCoverage(b *testing.B, dir string, keys []string) int {
+	b.Helper()
+	present := make(map[string]struct{}, len(keys))
+	shards, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shard := range shards {
+		f, err := os.Open(shard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			var rec record
+			if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.Schema != SchemaVersion {
+				continue
+			}
+			if rec.Results != nil {
+				present[rec.Key] = struct{}{}
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := 0
+	for _, k := range keys {
+		if _, ok := present[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// BenchmarkStoreCoverage measures a warm coverage query both ways over
+// synthesized stores: "scan-<k>" re-reads the shards per query (the
+// pre-index behavior, and what any external process must do), and
+// "incr-<k>" asks the store's key index after an incremental SyncIndex
+// (a stat per shard, zero reads on a quiescent store). benchjson derives
+// speedup_<k> = scan ÷ incr from the name pairs; the gap grows linearly
+// with store size, which is the point of the index.
+func BenchmarkStoreCoverage(b *testing.B) {
+	for _, size := range []struct {
+		label string
+		n     int
+	}{{"10k", 10_000}, {"100k", 100_000}} {
+		dir := b.TempDir()
+		keys := synthesizeShards(b, dir, size.n)
+		store, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("scan-"+size.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := scanCoverage(b, dir, keys); got != size.n {
+					b.Fatalf("scan coverage = %d, want %d", got, size.n)
+				}
+			}
+		})
+		b.Run("incr-"+size.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := store.SyncIndex(); err != nil {
+					b.Fatal(err)
+				}
+				if got := store.Coverage(keys); got != size.n {
+					b.Fatalf("indexed coverage = %d, want %d", got, size.n)
+				}
+			}
+		})
+	}
+}

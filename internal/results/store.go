@@ -15,17 +15,16 @@
 package results
 
 import (
-	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"breakhammer/internal/sim"
 	"breakhammer/internal/workload"
@@ -79,24 +78,39 @@ type Stats struct {
 	Written int64 // records persisted by Put
 	Loaded  int64 // records recovered from disk at Open
 	Skipped int64 // corrupt or stale-schema lines ignored at Open
+	// ShardReads counts shard-content reads performed after Open: tail
+	// reads by Reload and SyncIndex when a shard grew (or was rewritten)
+	// since it was last indexed. A warm store answering membership
+	// queries — Has, HasRaw, Coverage — performs zero; the regression
+	// tests pin that.
+	ShardReads int64
 }
 
 // Store is a write-through results cache: an in-memory map in front of
-// JSON-lines shards on disk. The zero value is not usable; construct with
-// Open or NewMemory. All methods are safe for concurrent use.
+// JSON-lines shards on disk, fronted by a compact key index (see
+// index.go) so membership queries never touch the shards. The zero value
+// is not usable; construct with Open or NewMemory. All methods are safe
+// for concurrent use.
 type Store struct {
 	dir string // "" = memory-only
 
-	mu       sync.Mutex
-	mem      map[string][]sim.MixResult
-	rawMem   map[string]json.RawMessage
-	inflight map[string]bool // keys claimed by TryClaim and not yet released
-	reset    bool            // Reset was called: records on disk are invalidated
-	hits     int64
-	misses   int64
-	written  int64
-	loaded   int64
-	skipped  int64
+	mu           sync.Mutex
+	mem          map[string][]sim.MixResult
+	rawMem       map[string]json.RawMessage
+	idxPoints    map[string]struct{}    // key index, simulation-point namespace
+	idxRaw       map[string]struct{}    // key index, raw namespace
+	shardOff     map[string]int64       // shard path -> bytes already indexed
+	shardIdent   map[string]os.FileInfo // shard path -> file identity when shardOff was recorded
+	compactEpoch string                 // content of the compact-epoch marker when offsets were recorded
+	inflight     map[string]bool        // keys claimed by TryClaim and not yet released
+	reset        bool                   // Reset was called: records on disk are invalidated
+	now          func() time.Time       // injectable clock for generation TTLs
+	hits         int64
+	misses       int64
+	written      int64
+	loaded       int64
+	skipped      int64
+	shardReads   int64
 }
 
 // record is one JSONL line: either a simulation-point record (Results
@@ -134,9 +148,14 @@ func sampledResults(rs []sim.MixResult) bool {
 // runner uses when no cache directory is configured.
 func NewMemory() *Store {
 	return &Store{
-		mem:      make(map[string][]sim.MixResult),
-		rawMem:   make(map[string]json.RawMessage),
-		inflight: make(map[string]bool),
+		mem:        make(map[string][]sim.MixResult),
+		rawMem:     make(map[string]json.RawMessage),
+		idxPoints:  make(map[string]struct{}),
+		idxRaw:     make(map[string]struct{}),
+		shardOff:   make(map[string]int64),
+		shardIdent: make(map[string]os.FileInfo),
+		inflight:   make(map[string]bool),
+		now:        time.Now,
 	}
 }
 
@@ -154,16 +173,25 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		mem:      make(map[string][]sim.MixResult),
-		rawMem:   make(map[string]json.RawMessage),
-		inflight: make(map[string]bool),
+		dir:        dir,
+		mem:        make(map[string][]sim.MixResult),
+		rawMem:     make(map[string]json.RawMessage),
+		idxPoints:  make(map[string]struct{}),
+		idxRaw:     make(map[string]struct{}),
+		shardOff:   make(map[string]int64),
+		shardIdent: make(map[string]os.FileInfo),
+		inflight:   make(map[string]bool),
+		now:        time.Now,
 	}
 	shards, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
 	if err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	sort.Strings(shards)
+	// Record the compaction epoch before reading the shards: if a
+	// compaction lands in between, the epoch appears changed on the next
+	// sync and the shards are re-read — erring toward re-reading.
+	s.compactEpoch = readCompactEpoch(dir)
 	for _, shard := range shards {
 		if err := s.loadShard(shard); err != nil {
 			return nil, err
@@ -172,41 +200,41 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// loadShard replays one shard file into memory. Later records win over
-// earlier ones with the same key, so recomputed points (e.g. after a
-// -resume=false run) supersede their predecessors without compaction.
+// loadShard replays one shard file into memory and the key index,
+// recording how far the file was indexed so later syncs read only
+// appended bytes. Later records win over earlier ones with the same key,
+// so recomputed points (e.g. after a -resume=false run) supersede their
+// predecessors without compaction. A torn trailing line (a concurrent
+// writer mid-append) is tolerated here exactly as in syncShardLocked:
+// the offset stops before it and the next sync re-reads it whole.
 func (s *Store) loadShard(path string) error {
-	f, err := os.Open(path)
+	off, ident, err := scanShardFrom(path, 0, func(line []byte) {
+		var rec record
+		jsonErr := json.Unmarshal(line, &rec)
+		switch {
+		case jsonErr != nil || rec.Schema != SchemaVersion || rec.Key == "":
+			s.skipped++
+		case rec.Raw != nil:
+			s.rawMem[rec.Key] = rec.Raw
+			s.indexLocked(rec)
+			s.loaded++
+		case rec.Results != nil:
+			s.mem[rec.Key] = rec.Results
+			s.indexLocked(rec)
+			s.loaded++
+		default:
+			s.skipped++
+		}
+	})
 	if err != nil {
-		return fmt.Errorf("results: %w", err)
+		return fmt.Errorf("results: reading %s: %w", path, err)
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	for {
-		line, err := r.ReadBytes('\n')
-		if len(line) > 0 {
-			var rec record
-			jsonErr := json.Unmarshal(line, &rec)
-			switch {
-			case jsonErr != nil || rec.Schema != SchemaVersion || rec.Key == "":
-				s.skipped++
-			case rec.Raw != nil:
-				s.rawMem[rec.Key] = rec.Raw
-				s.loaded++
-			case rec.Results != nil:
-				s.mem[rec.Key] = rec.Results
-				s.loaded++
-			default:
-				s.skipped++
-			}
-		}
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("results: reading %s: %w", path, err)
-		}
+	if off < ident.Size() {
+		s.skipped++ // unterminated trailing line: torn write or truncation
 	}
+	s.shardOff[path] = off
+	s.shardIdent[path] = ident
+	return nil
 }
 
 // Dir returns the backing directory ("" for a memory-only store).
@@ -225,95 +253,72 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{Hits: s.hits, Misses: s.misses, Written: s.written,
-		Loaded: s.loaded, Skipped: s.skipped}
+		Loaded: s.loaded, Skipped: s.skipped, ShardReads: s.shardReads}
 }
 
 // Has reports whether key is present in the simulation-point namespace.
-// Unlike Get, probing with Has does not count toward the hit/miss
-// statistics, so coverage queries (which figures are fully cached?) do
-// not skew the traffic counters.
+// It reads only the key index — never the shards — and, unlike Get, does
+// not count toward the hit/miss statistics, so coverage queries (which
+// figures are fully cached?) do not skew the traffic counters.
 func (s *Store) Has(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.mem[key]
+	_, ok := s.idxPoints[key]
 	return ok
 }
 
-// HasRaw reports whether key is present in the raw namespace, again
-// without touching the hit/miss counters.
+// HasRaw reports whether key is present in the raw namespace, again via
+// the key index only and without touching the hit/miss counters.
 func (s *Store) HasRaw(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.rawMem[key]
+	_, ok := s.idxRaw[key]
 	return ok
 }
 
 // Coverage reports how many of the given simulation-point keys are
 // already stored. It is the store-level primitive behind "n cached / n
-// total" figure listings.
+// total" figure listings, and costs one index lookup per key — O(1)
+// regardless of how many records the shards hold.
 func (s *Store) Coverage(keys []string) (cached int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, k := range keys {
-		if _, ok := s.mem[k]; ok {
+		if _, ok := s.idxPoints[k]; ok {
 			cached++
 		}
 	}
 	return cached
 }
 
-// Reload re-reads key's shard from disk, picking up records appended by
-// other processes sharing the cache directory since this store was
-// opened, and caches a found record in memory. It is how a worker that
-// waited out another process's claim observes the finished point. On a
-// memory-only store — or after Reset, which explicitly invalidates
-// everything already on disk — Reload is equivalent to Get.
+// Reload returns the stored results for key, first syncing key's shard
+// against disk so records appended by other processes sharing the cache
+// directory become visible. It is how a worker that waited out another
+// process's claim observes the finished point. The sync is incremental:
+// a shard that has not grown since it was last indexed costs one stat
+// and zero reads (see index.go), so polling Reload while a claim holder
+// works no longer rescans the shard per poll. On a memory-only store —
+// or after Reset, which explicitly invalidates everything already on
+// disk — Reload is equivalent to Get.
 func (s *Store) Reload(key string) ([]sim.MixResult, bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if rs, ok := s.mem[key]; ok {
 		s.hits++
-		s.mu.Unlock()
 		return rs, true
 	}
 	if s.dir == "" || s.reset {
 		s.misses++
-		s.mu.Unlock()
 		return nil, false
 	}
-	path := s.shardPath(key)
-	s.mu.Unlock()
-
-	f, err := os.Open(path)
-	if err != nil {
+	if err := s.syncShardLocked(s.shardPath(key)); err != nil {
 		return nil, false
 	}
-	defer f.Close()
-	var (
-		found []sim.MixResult
-		ok    bool
-	)
-	r := bufio.NewReaderSize(f, 1<<20)
-	for {
-		line, err := r.ReadBytes('\n')
-		if len(line) > 0 {
-			var rec record
-			if json.Unmarshal(line, &rec) == nil && rec.Schema == SchemaVersion &&
-				rec.Key == key && rec.Results != nil {
-				found, ok = rec.Results, true // last record wins
-			}
-		}
-		if err != nil {
-			break
-		}
+	if rs, ok := s.mem[key]; ok {
+		s.hits++
+		return rs, true
 	}
-	if !ok {
-		return nil, false
-	}
-	s.mu.Lock()
-	s.mem[key] = found
-	s.hits++
-	s.mu.Unlock()
-	return found, true
+	return nil, false
 }
 
 // Get returns the stored results for key, if any.
@@ -345,6 +350,7 @@ func (s *Store) Put(key string, rs []sim.MixResult) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem[key] = rs
+	s.idxPoints[key] = struct{}{}
 	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Results: rs,
 		Sampled: sampledResults(rs)})
 }
@@ -374,6 +380,7 @@ func (s *Store) PutRaw(key string, raw json.RawMessage) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rawMem[key] = raw
+	s.idxRaw[key] = struct{}{}
 	return s.appendLocked(record{Schema: SchemaVersion, Key: key, Raw: raw})
 }
 
@@ -409,6 +416,10 @@ func (s *Store) Reset() {
 	defer s.mu.Unlock()
 	s.mem = make(map[string][]sim.MixResult)
 	s.rawMem = make(map[string]json.RawMessage)
+	s.idxPoints = make(map[string]struct{})
+	s.idxRaw = make(map[string]struct{})
+	s.shardOff = make(map[string]int64)
+	s.shardIdent = make(map[string]os.FileInfo)
 	s.loaded = 0
 	s.reset = true
 }

@@ -28,8 +28,10 @@ const (
 // typed progress event retained for replay so late SSE subscribers see
 // the full history.
 type Job struct {
-	id  string
-	fig string
+	id     string
+	key    string      // dedup key: the figure id, plus the request fingerprint for parameterized jobs
+	fig    string      // figure id, for display
+	runner *exp.Runner // the runner this job sweeps (a derived one for parameterized jobs)
 
 	mu     sync.Mutex
 	state  string
@@ -45,23 +47,38 @@ func (j *Job) ID() string { return j.id }
 // Figure returns the figure id the job computes.
 func (j *Job) Figure() string { return j.fig }
 
+// Key returns the job's dedup key (and the durable ticket suffix).
+func (j *Job) Key() string { return j.key }
+
 // Status snapshots the job for JSON rendering.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:     j.id,
+		Key:    j.key,
 		Figure: j.fig,
 		State:  j.state,
 		Error:  j.errMsg,
 		Events: len(j.events),
 	}
+	latest := true
 	for i := len(j.events) - 1; i >= 0; i-- {
-		if j.events[i].Type == exp.PointFinished {
-			st.Done = j.events[i].Done
-			st.Total = j.events[i].Total
-			st.EstimateNS = j.events[i].EstimateNS
-			break
+		e := j.events[i]
+		if e.Type != exp.PointFinished {
+			continue
+		}
+		if latest {
+			// The most recent finished event carries the sweep totals.
+			st.Done = e.Done
+			st.Total = e.Total
+			st.EstimateNS = e.EstimateNS
+			latest = false
+		}
+		if e.Cached {
+			st.Cached++
+		} else {
+			st.Simulated++
 		}
 	}
 	return st
@@ -70,12 +87,19 @@ func (j *Job) Status() JobStatus {
 // JobStatus is the wire form of a job snapshot.
 type JobStatus struct {
 	ID     string `json:"id"`
+	Key    string `json:"key"`
 	Figure string `json:"figure"`
 	State  string `json:"state"`
 	Error  string `json:"error,omitempty"`
 	Events int    `json:"events"` // progress events emitted so far
 	Done   int    `json:"done"`   // points finished
 	Total  int    `json:"total"`  // points in the sweep (0 until the first point finishes)
+	// Simulated and Cached split the finished points into ones this job
+	// actually simulated versus ones served warm from the store — the
+	// restart-resume smoke asserts a resumed job reports Simulated only
+	// for points the killed server never finished.
+	Simulated int `json:"simulated"`
+	Cached    int `json:"cached"`
 	// EstimateNS is the projected remaining wall-clock in nanoseconds
 	// from the job's latest progress event.
 	EstimateNS int64 `json:"eta_ns,omitempty"`
@@ -149,8 +173,14 @@ type Manager struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// onFinish, when set, observes every job reaching a terminal state
+	// (the server uses it to settle the job's durable ticket). It is
+	// called outside the manager lock, after the job's done channel
+	// closed. Set it before the first Ensure.
+	onFinish func(key string, err error)
+
 	mu       sync.Mutex
-	active   map[string]*Job // figure id -> live job (dedup)
+	active   map[string]*Job // job key -> live job (dedup)
 	byID     map[string]*Job // job id -> job, including recent finished ones
 	finished []string        // terminal job ids, oldest first, for eviction
 	nextID   int
@@ -179,26 +209,36 @@ func NewManager(runner *exp.Runner, workers int) *Manager {
 	}
 }
 
-// Ensure returns the live job computing the given figure, creating one
-// if none is active: concurrent requests for the same figure share a
-// single sweep. The job prefetches the experiment's missing points
-// through the shared results store and then renders the table once, so
-// a follow-up figure request serves straight from the cache.
-func (m *Manager) Ensure(figID string, ex exp.Experiment) *Job {
+// Ensure returns the live job computing the given figure under the
+// given dedup key, creating one if none is active: concurrent requests
+// with the same key share a single sweep. Plain figure requests key by
+// figure id; parameterized requests append their request fingerprint,
+// so distinct parameter sets run as distinct jobs. A nil runner uses
+// the manager's default; parameterized jobs pass their derived runner,
+// which shares the default one's store. The job prefetches the
+// experiment's missing points through that store and then renders the
+// table once, so a follow-up figure request serves straight from the
+// cache.
+func (m *Manager) Ensure(key string, ex exp.Experiment, runner *exp.Runner) *Job {
+	if runner == nil {
+		runner = m.runner
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j, ok := m.active[figID]; ok {
+	if j, ok := m.active[key]; ok {
 		return j
 	}
 	m.nextID++
 	j := &Job{
-		id:    fmt.Sprintf("job-%d", m.nextID),
-		fig:   figID,
-		state: JobQueued,
-		subs:  make(map[chan exp.Event]bool),
-		done:  make(chan struct{}),
+		id:     fmt.Sprintf("job-%d", m.nextID),
+		key:    key,
+		fig:    FigureID(ex.Name),
+		runner: runner,
+		state:  JobQueued,
+		subs:   make(map[chan exp.Event]bool),
+		done:   make(chan struct{}),
 	}
-	m.active[figID] = j
+	m.active[key] = j
 	m.byID[j.id] = j
 	m.wg.Add(1)
 	go m.run(j, ex)
@@ -210,8 +250,8 @@ func (m *Manager) run(j *Job, ex exp.Experiment) {
 	defer m.wg.Done()
 	defer func() {
 		m.mu.Lock()
-		if m.active[j.fig] == j {
-			delete(m.active, j.fig)
+		if m.active[j.key] == j {
+			delete(m.active, j.key)
 		}
 		m.finished = append(m.finished, j.id)
 		for len(m.finished) > maxFinishedJobs {
@@ -220,34 +260,43 @@ func (m *Manager) run(j *Job, ex exp.Experiment) {
 		}
 		m.mu.Unlock()
 	}()
+	err := m.sweep(j, ex)
+	j.finish(err)
+	// A job interrupted by shutdown is not settled: its durable ticket
+	// stays open so the next process reattaches and resumes it. Only
+	// jobs that genuinely completed or failed settle their ticket.
+	if m.onFinish != nil && m.ctx.Err() == nil {
+		m.onFinish(j.key, err)
+	}
+}
+
+// sweep runs the job's prefetch and render, returning its terminal
+// error (nil on success).
+func (m *Manager) sweep(j *Job, ex exp.Experiment) error {
 	select {
 	case m.workers <- struct{}{}:
 		defer func() { <-m.workers }()
 	case <-m.ctx.Done():
-		j.finish(m.ctx.Err())
-		return
+		return m.ctx.Err()
 	}
 	j.setState(JobRunning)
-	points := m.runner.PointsFor([]string{ex.Name})
-	if err := m.runner.PrefetchContext(m.ctx, points, j.emit); err != nil {
-		j.finish(err)
-		return
+	points := j.runner.PointsFor([]string{ex.Name})
+	if err := j.runner.PrefetchContext(m.ctx, points, j.emit); err != nil {
+		return err
 	}
 	// The render below cannot be cancelled mid-run (the figure builders
 	// take no context), so don't start it on a server that is shutting
 	// down — for instrumented experiments it IS the whole job.
 	if err := m.ctx.Err(); err != nil {
-		j.finish(err)
-		return
+		return err
 	}
 	// Render once so instrumented experiments (whose work is not point
 	// sweeps) compute and cache their table, and point figures verify
 	// they render cleanly before the job reports done.
-	if _, err := ex.Run(m.runner); err != nil {
-		j.finish(err)
-		return
+	if _, err := ex.Run(j.runner); err != nil {
+		return err
 	}
-	j.finish(nil)
+	return nil
 }
 
 // Get looks a job up by id (live or finished).

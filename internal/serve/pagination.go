@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Pagination contract (mirroring the page_number/page_size idiom):
+// pages are 1-based, page_size defaults per endpoint and is clamped to
+// the endpoint's cap, ordering is the underlying catalogue's stable
+// order, and a page past the end returns an empty items list — not an
+// error — so clients can walk pages until one comes back empty.
+
+// paged is the envelope every paginated endpoint answers with.
+type paged[T any] struct {
+	PageNumber int `json:"page_number"`
+	PageSize   int `json:"page_size"`
+	TotalItems int `json:"total_items"`
+	TotalPages int `json:"total_pages"`
+	Items      []T `json:"items"`
+}
+
+// pageParams parses page_number and page_size from the query string,
+// applying the endpoint's default and cap. Absent parameters take the
+// defaults (page 1, defSize); malformed or non-positive values are an
+// error; an oversized page_size is clamped to maxSize rather than
+// rejected.
+func pageParams(r *http.Request, defSize, maxSize int) (number, size int, err error) {
+	number, err = pageParam(r, "page_number", 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	size, err = pageParam(r, "page_size", defSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size > maxSize {
+		size = maxSize
+	}
+	return number, size, nil
+}
+
+// pageParam parses one positive integer query parameter with a default.
+func pageParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("%s must be a positive integer, got %q", name, raw)
+	}
+	return v, nil
+}
+
+// paginate slices items into the requested page. The envelope always
+// reports the full set's size; an out-of-range page carries an empty
+// (but non-null) items list.
+func paginate[T any](items []T, number, size int) paged[T] {
+	total := len(items)
+	p := paged[T]{
+		PageNumber: number,
+		PageSize:   size,
+		TotalItems: total,
+		TotalPages: (total + size - 1) / size,
+		Items:      []T{},
+	}
+	lo := (number - 1) * size
+	if lo >= total {
+		return p
+	}
+	hi := lo + size
+	if hi > total {
+		hi = total
+	}
+	p.Items = items[lo:hi]
+	return p
+}

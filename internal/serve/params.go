@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"breakhammer/internal/exp"
+)
+
+// figureRequest is the POST /api/figures/{id} body: per-request sweep
+// subsets in the same comma-separated spellings as the bhsweep flags.
+// Every field narrows the server's base options; a value outside the
+// base sweep is rejected, because serving it would simulate points the
+// operator never provisioned for. A zero request is exactly the GET.
+type figureRequest struct {
+	NRHs       string `json:"nrhs,omitempty"`
+	Mechanisms string `json:"mechanisms,omitempty"`
+	Strategies string `json:"strategies,omitempty"`
+	Defenses   string `json:"defenses,omitempty"`
+}
+
+// runnerFor resolves a request into the runner that will serve it: the
+// server's own runner for a zero request, otherwise a derived runner
+// over the same store whose options are the base options narrowed by
+// the request. Derived runners are cached by the request fingerprint —
+// the same fingerprint that joins the job dedup key — so identical
+// requests share one runner (and its memoized point keys). The
+// fingerprint is computed from the *resolved* subsets, so two bodies
+// spelling the same subset differently ("256, 64" vs "256,64") key
+// identically.
+func (s *Server) runnerFor(req figureRequest) (*exp.Runner, string, error) {
+	if req == (figureRequest{}) {
+		return s.runner, "", nil
+	}
+	base := s.runner.Options()
+	spec := exp.OptionSpec{
+		NRHs:       req.NRHs,
+		Mechanisms: req.Mechanisms,
+		Strategies: req.Strategies,
+		Defenses:   req.Defenses,
+	}
+	opts, err := spec.ApplyTo(base)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := subsetOf("nrhs", intStrings(opts.NRHs), intStrings(base.NRHs)); err != nil {
+		return nil, "", err
+	}
+	if err := subsetOf("mechanisms", opts.Mechanisms, base.Mechanisms); err != nil {
+		return nil, "", err
+	}
+	if err := subsetOf("strategies", opts.Strategies, base.Strategies); err != nil {
+		return nil, "", err
+	}
+	if err := subsetOf("defenses", defenseStrings(opts), defenseStrings(base)); err != nil {
+		return nil, "", err
+	}
+	fp := requestFingerprint(opts)
+	s.derivedMu.Lock()
+	defer s.derivedMu.Unlock()
+	if r, ok := s.derived[fp]; ok {
+		return r, fp, nil
+	}
+	if len(s.derived) >= maxDerivedRunners {
+		s.derived = make(map[string]*exp.Runner)
+	}
+	r := s.runner.WithOptions(opts)
+	s.derived[fp] = r
+	return r, fp, nil
+}
+
+// requestFingerprint canonicalizes the request-relevant subsets of a
+// resolved option set into a short stable id.
+func requestFingerprint(o exp.Options) string {
+	var b strings.Builder
+	b.WriteString("nrhs=" + strings.Join(intStrings(o.NRHs), ","))
+	b.WriteString("|mechs=" + strings.Join(o.Mechanisms, ","))
+	b.WriteString("|strats=" + strings.Join(o.Strategies, ","))
+	b.WriteString("|defs=" + strings.Join(defenseStrings(o), ","))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// subsetOf rejects any requested value absent from the base sweep.
+func subsetOf(kind string, got, base []string) error {
+	allowed := make(map[string]bool, len(base))
+	for _, v := range base {
+		allowed[v] = true
+	}
+	for _, v := range got {
+		if !allowed[v] {
+			return fmt.Errorf("%s value %q is not in this server's sweep (have %s)",
+				kind, v, strings.Join(base, ","))
+		}
+	}
+	return nil
+}
+
+func intStrings(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strconv.Itoa(v)
+	}
+	return out
+}
+
+func defenseStrings(o exp.Options) []string {
+	out := make([]string, len(o.Defenses))
+	for i, d := range o.Defenses {
+		out[i] = d.String()
+	}
+	return out
+}

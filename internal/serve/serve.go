@@ -9,12 +9,23 @@
 //
 // Routes:
 //
-//	GET /                      embedded HTML index (coverage + live jobs)
-//	GET /api/figures           catalogue with cache coverage and job state
-//	GET /api/figures/{id}      the figure (200) or a job ticket (202)
-//	GET /api/jobs              every job this server started
-//	GET /api/jobs/{id}         one job's status
-//	GET /api/jobs/{id}/events  the job's progress stream (SSE)
+//	GET  /                          embedded HTML index (coverage + live jobs)
+//	GET  /api/figures               paginated catalogue with coverage and job state
+//	GET  /api/figures/{id}          the figure (200) or a job ticket (202)
+//	POST /api/figures/{id}          same, with per-request sweep subsets in the body
+//	GET  /api/figures/{id}/coverage paginated per-point cache status
+//	GET  /api/jobs                  every job this server started
+//	GET  /api/jobs/{id}             one job's status
+//	GET  /api/jobs/{id}/events      the job's progress stream (SSE)
+//	GET  /api/stats                 per-client accounting + store counters
+//	POST /api/invalidate            bump the cache generation (admin token)
+//
+// Every route runs behind per-client accounting and (when configured
+// with SetRateLimit) token-bucket rate limiting; over-limit requests
+// answer 429 with a Retry-After header. Cold figure jobs persist
+// durable tickets in the results store, so a server killed mid-job
+// resumes the job on restart, simulating only points the store does
+// not already hold (see tickets.go).
 //
 // With EnableFleet the server additionally coordinates a distributed
 // sweep fleet under /api/fleet (see breakhammer/internal/fleet for the
@@ -22,45 +33,103 @@
 package serve
 
 import (
+	"crypto/subtle"
 	_ "embed"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"breakhammer/internal/exp"
 	"breakhammer/internal/fleet"
+	"breakhammer/internal/results"
 )
 
 //go:embed index.html
 var indexHTML []byte
 
+// Pagination defaults and caps per endpoint.
+const (
+	figuresPageSize    = 50
+	figuresPageMax     = 100
+	coveragePageSize   = 100
+	coveragePageMax    = 500
+	maxDerivedRunners  = 64 // parameterized-request runner cache bound
+	maxFigureBodyBytes = 1 << 16
+)
+
 // Server wires the experiment runner and job manager into an
 // http.Handler. Construct with New; Close cancels background jobs.
+// The Set* methods configure the hardening knobs (rate limit, admin
+// token, logging) and must be called before the server starts
+// listening.
 type Server struct {
-	runner *exp.Runner
-	mgr    *Manager
-	mux    *http.ServeMux
-	fleet  *fleet.Coordinator // nil unless EnableFleet was called
+	runner  *exp.Runner
+	mgr     *Manager
+	mux     *http.ServeMux
+	handler http.Handler
+	limiter *limiter
+	fleet   *fleet.Coordinator // nil unless EnableFleet was called
+
+	adminToken string
+	logf       func(format string, args ...any)
+
+	derivedMu sync.Mutex
+	derived   map[string]*exp.Runner // request fingerprint -> derived runner
 }
 
 // New builds a server over the runner, computing at most figureWorkers
 // figures concurrently in the background.
 func New(runner *exp.Runner, figureWorkers int) *Server {
-	s := &Server{runner: runner, mgr: NewManager(runner, figureWorkers)}
+	s := &Server{
+		runner:  runner,
+		mgr:     NewManager(runner, figureWorkers),
+		limiter: newLimiter(),
+		logf:    func(string, ...any) {},
+		derived: make(map[string]*exp.Runner),
+	}
+	s.mgr.onFinish = s.finishTicket
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /api/figures", s.handleFigures)
 	mux.HandleFunc("GET /api/figures/{id}", s.handleFigure)
+	mux.HandleFunc("POST /api/figures/{id}", s.handleFigurePost)
+	mux.HandleFunc("GET /api/figures/{id}/coverage", s.handleFigureCoverage)
 	mux.HandleFunc("GET /api/jobs", s.handleJobs)
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("POST /api/invalidate", s.handleInvalidate)
 	s.mux = mux
+	s.handler = s.limiter.withAccounting(mux)
 	return s
 }
 
-// Handler returns the server's route table.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's route table wrapped in the accounting
+// and rate-limit middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// SetRateLimit enables per-client token-bucket rate limiting: each
+// client refills rate requests per second up to a bucket of burst.
+// rate <= 0 (the default) disables limiting; accounting always runs.
+func (s *Server) SetRateLimit(rate float64, burst int) { s.limiter.setLimit(rate, burst) }
+
+// SetAdminToken arms the POST /api/invalidate endpoint: requests must
+// present the token (X-API-Token header or Authorization bearer). An
+// empty token (the default) keeps the endpoint disabled.
+func (s *Server) SetAdminToken(tok string) { s.adminToken = tok }
+
+// SetLogf installs a logger for background activity (ticket writes,
+// job completion); the default discards.
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
 
 // EnableFleet mounts the fleet coordinator's work-queue routes
 // (/api/fleet/...) on the server and ties the coordinator's lifecycle
@@ -152,6 +221,14 @@ func (s *Server) figureInfo(ex exp.Experiment) (figureInfo, error) {
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	number, size, err := pageParams(r, figuresPageSize, figuresPageMax)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The catalogue order is exp.Experiments()'s presentation order —
+	// stable across requests, so concatenated pages reassemble the full
+	// set without duplicates or gaps.
 	var list []figureInfo
 	for _, ex := range exp.Experiments() {
 		info, err := s.figureInfo(ex)
@@ -161,7 +238,7 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 		}
 		list = append(list, info)
 	}
-	writeJSON(w, http.StatusOK, list)
+	writeJSON(w, http.StatusOK, paginate(list, number, size))
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -171,15 +248,56 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q", id))
 		return
 	}
-	cached, total, err := s.runner.Coverage(ex.Name)
+	s.serveFigure(w, ex, s.runner, FigureID(ex.Name), nil)
+}
+
+// handleFigurePost serves a figure computed under per-request sweep
+// subsets: the JSON body narrows the server's base options (N_RH
+// values, mechanisms, strategies, defenses — the same comma-separated
+// spellings as the CLI flags), and the request is keyed by a
+// fingerprint of the resolved subsets so identical requests share one
+// job and one set of cached tables. An empty body is exactly the GET.
+func (s *Server) handleFigurePost(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ex, ok := exp.ExperimentByName(experimentName(id))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q", id))
+		return
+	}
+	var req figureRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFigureBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	runner, fp, err := s.runnerFor(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := FigureID(ex.Name)
+	var params *figureRequest
+	if fp != "" {
+		key += "@" + fp
+		params = &req
+	}
+	s.serveFigure(w, ex, runner, key, params)
+}
+
+// serveFigure is the shared figure path: a fully covered figure renders
+// straight from the store — zero simulations, the bhsweep -json wire
+// format, byte-identical regardless of which route asked — and a cold
+// one opens a durable ticket, ensures the background job, and answers
+// 202 with the job ticket.
+func (s *Server) serveFigure(w http.ResponseWriter, ex exp.Experiment, runner *exp.Runner, key string, params *figureRequest) {
+	cached, total, err := runner.Coverage(ex.Name)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if cached == total {
-		// Fully covered: render straight from the store — zero
-		// simulations — and answer with the bhsweep -json wire format.
-		tbl, err := ex.Run(s.runner)
+		tbl, err := ex.Run(runner)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -188,13 +306,92 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, tbl.JSON())
 		return
 	}
-	j := s.mgr.Ensure(FigureID(ex.Name), ex)
+	if _, active := s.mgr.ActiveFor(key); !active {
+		s.openTicket(key, ex, params)
+	}
+	j := s.mgr.Ensure(key, ex, runner)
 	writeJSON(w, http.StatusAccepted, jobTicket{
 		Job:       j.Status(),
 		StatusURL: "/api/jobs/" + j.ID(),
 		EventsURL: "/api/jobs/" + j.ID() + "/events",
 		FigureURL: "/api/figures/" + FigureID(ex.Name),
 	})
+}
+
+// handleFigureCoverage lists one figure's points with per-point cache
+// status, paginated. The order is the sweep's stable enumeration
+// order, so pages concatenate into the full point list.
+func (s *Server) handleFigureCoverage(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ex, ok := exp.ExperimentByName(experimentName(id))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q", id))
+		return
+	}
+	number, size, err := pageParams(r, coveragePageSize, coveragePageMax)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	pts, err := s.runner.PointCoverageFor(ex.Name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paginate(pts, number, size))
+}
+
+// statsResponse is the GET /api/stats body.
+type statsResponse struct {
+	// Generation is the store's current cache generation (0 until the
+	// first invalidation or TTL expiry).
+	Generation uint64        `json:"generation"`
+	Store      results.Stats `json:"store"`
+	Jobs       int           `json:"jobs"` // jobs currently retained (live + recent)
+	Clients    []ClientStats `json:"clients"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	gen, err := s.runner.Store().Generation(0)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Generation: gen,
+		Store:      s.runner.Store().Stats(),
+		Jobs:       len(s.mgr.Jobs()),
+		Clients:    s.limiter.snapshot(),
+	})
+}
+
+// handleInvalidate bumps the store's cache generation, orphaning every
+// generation-keyed rendered table at once; they recompute lazily on
+// next use. Simulation-point records are exact and are never touched.
+// The endpoint requires the admin token and is disabled when none is
+// configured.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if s.adminToken == "" {
+		httpError(w, http.StatusForbidden, fmt.Errorf("invalidation disabled: no admin token configured"))
+		return
+	}
+	tok := r.Header.Get("X-API-Token")
+	if tok == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			tok = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if subtle.ConstantTimeCompare([]byte(tok), []byte(s.adminToken)) != 1 {
+		httpError(w, http.StatusUnauthorized, fmt.Errorf("bad admin token"))
+		return
+	}
+	gen, err := s.runner.Store().BumpGeneration()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logf("cache invalidated: generation %d", gen)
+	writeJSON(w, http.StatusOK, map[string]uint64{"generation": gen})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -337,15 +337,19 @@ func TestFiguresCatalogueAndCoverage(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("catalogue: HTTP %d", rec.Code)
 	}
-	var list []figureInfo
-	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+	var page paged[figureInfo]
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
 		t.Fatal(err)
 	}
-	if len(list) != len(exp.Experiments()) {
-		t.Fatalf("catalogue lists %d figures, want %d", len(list), len(exp.Experiments()))
+	if page.TotalItems != len(exp.Experiments()) {
+		t.Fatalf("catalogue lists %d figures, want %d", page.TotalItems, len(exp.Experiments()))
+	}
+	if len(page.Items) != len(exp.Experiments()) {
+		t.Fatalf("first page holds %d figures, want all %d (catalogue fits the default page size)",
+			len(page.Items), len(exp.Experiments()))
 	}
 	byID := map[string]figureInfo{}
-	for _, f := range list {
+	for _, f := range page.Items {
 		byID[f.ID] = f
 	}
 	if f := byID["fig13"]; f.Ready || f.Cached != 0 || f.Total == 0 {
